@@ -1,0 +1,17 @@
+// Command breakdown regenerates Table 5 of the paper: the incremental
+// speedups from Batch, NonBlock, and Squash on NutShell-Palladium,
+// XiangShan-Palladium, and XiangShan-FPGA.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	instrs := flag.Uint64("instrs", experiments.DefaultInstrs, "dynamic instructions per run")
+	flag.Parse()
+	fmt.Println(experiments.Table5(*instrs))
+}

@@ -1,0 +1,146 @@
+// Command difftest runs one hardware-accelerated co-simulation: a DUT on a
+// modeled acceleration platform, checked instruction-by-instruction against
+// the reference model, with the selected communication optimizations.
+//
+// Usage:
+//
+//	difftest -dut xiangshan -platform palladium -config EBINSD -workload linux
+//	difftest -bug load-sign-extension -config EBINSD   # inject and detect a bug
+//	difftest -list                                     # show available options
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/bugs"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dutName  = flag.String("dut", "xiangshan", "DUT: nutshell, xiangshan-minimal, xiangshan, xiangshan-dual")
+		platName = flag.String("platform", "palladium", "platform: palladium, fpga, verilator")
+		cfgName  = flag.String("config", "EBINSD", "optimizations: Z, EB, EBIN, EBINSD")
+		wlName   = flag.String("workload", "linux", "workload: linux, microbench, spec, kvm, xvisor, rvv_test")
+		instrs   = flag.Uint64("instrs", 200_000, "target dynamic instructions")
+		seed     = flag.Int64("seed", 7, "workload generation seed")
+		bugID    = flag.String("bug", "", "inject a bug from the library (see -list)")
+		threads  = flag.Int("threads", 16, "verilator host threads")
+		verbose  = flag.Bool("v", false, "print communication counters")
+		list     = flag.Bool("list", false, "list DUTs, workloads, and bugs")
+	)
+	flag.Parse()
+
+	if *list {
+		printOptions()
+		return
+	}
+
+	d, err := pickDUT(*dutName)
+	exitOn(err)
+	p, err := pickPlatform(*platName, *threads)
+	exitOn(err)
+	o, err := cosim.ParseConfig(*cfgName)
+	exitOn(err)
+	wl, ok := workload.ByName(*wlName)
+	if !ok {
+		exitOn(fmt.Errorf("unknown workload %q", *wlName))
+	}
+	wl.TargetInstrs = *instrs
+
+	var hooks arch.Hooks
+	if *bugID != "" {
+		b, ok := bugs.ByID(*bugID)
+		if !ok {
+			exitOn(fmt.Errorf("unknown bug %q", *bugID))
+		}
+		hooks = b.Hooks(0)
+		fmt.Printf("injecting %s (%s): %s\n", b.ID, b.PR, b.Description)
+	}
+
+	res, err := cosim.Run(cosim.Params{
+		DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed, Hooks: hooks,
+	})
+	exitOn(err)
+
+	fmt.Println(res.Summary())
+	fmt.Printf("Simulation speed: %.2f KHz\n", res.SpeedHz/1e3)
+	if res.Replay != nil {
+		fmt.Println(res.Replay)
+	}
+	if *verbose {
+		fmt.Printf("\ncommunication: %d invokes, %d wire bytes, %.3g s software\n",
+			res.Invokes, res.WireBytes, res.SWSeconds)
+		fmt.Printf("monitor: %.1f events/cycle, %.0f bytes/cycle, %.0f bytes/instr\n",
+			res.EventsPerCycle, res.BytesPerCycle, res.BytesPerInstr)
+		fmt.Printf("comm overhead share: %.2f%%  breakdown: %v\n",
+			res.CommOverheadShare*100, res.Breakdown)
+		if res.Fusion.Windows > 0 {
+			fmt.Printf("squash: fusion ratio %.1f (%d windows, %d NDEs ahead, %d diffs)\n",
+				res.Fusion.FusionRatio(), res.Fusion.Windows, res.Fusion.NDEsAhead, res.Fusion.Diffs)
+		}
+		if res.PacketUtilation > 0 {
+			fmt.Printf("batch: packet utilization %.2f\n", res.PacketUtilation)
+		}
+	}
+	if res.Mismatch != nil {
+		os.Exit(2)
+	}
+}
+
+func pickDUT(name string) (dut.Config, error) {
+	switch strings.ToLower(name) {
+	case "nutshell":
+		return dut.NutShell(), nil
+	case "xiangshan-minimal", "minimal":
+		return dut.XiangShanMinimal(), nil
+	case "xiangshan", "default":
+		return dut.XiangShanDefault(), nil
+	case "xiangshan-dual", "dual":
+		return dut.XiangShanDefaultDual(), nil
+	}
+	return dut.Config{}, fmt.Errorf("unknown DUT %q", name)
+}
+
+func pickPlatform(name string, threads int) (platform.Platform, error) {
+	switch strings.ToLower(name) {
+	case "palladium", "pldm", "emulator":
+		return platform.Palladium(), nil
+	case "fpga", "vu19p":
+		return platform.FPGA(), nil
+	case "verilator", "rtl":
+		return platform.Verilator(threads), nil
+	}
+	return platform.Platform{}, fmt.Errorf("unknown platform %q", name)
+}
+
+func printOptions() {
+	fmt.Println("DUTs:")
+	for _, d := range dut.Configs() {
+		fmt.Printf("  %-28s %5.1fM gates, %d-wide, %d core(s), %d event types\n",
+			d.Name, d.GatesM, d.CommitWidth, d.Cores, d.NumEventKinds())
+	}
+	fmt.Println("\nWorkloads:")
+	for _, w := range workload.Profiles() {
+		fmt.Printf("  %-12s MMIO %d‰, ecall %d‰, timer %d\n",
+			w.Name, w.MMIOPerMille, w.EcallPerMille, w.TimerInterval)
+	}
+	fmt.Println("\nBugs:")
+	for _, b := range bugs.Library() {
+		fmt.Printf("  %s\n", b)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "difftest:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+// Command events regenerates the verification-event census: Figure 4 (event
+// sizes and invocation rates), Table 1 (the taxonomy), and Table 4 (DUT
+// scales and bytes per instruction).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	instrs := flag.Uint64("instrs", experiments.DefaultInstrs, "dynamic instructions per run")
+	taxonomy := flag.Bool("taxonomy", false, "print only the event taxonomy (Table 1)")
+	scales := flag.Bool("scales", false, "print only the DUT scales (Table 4)")
+	flag.Parse()
+
+	switch {
+	case *taxonomy:
+		fmt.Println(experiments.Table1())
+	case *scales:
+		fmt.Println(experiments.Table4(*instrs))
+	default:
+		fmt.Println(experiments.Table1())
+		fmt.Println(experiments.Figure4(*instrs))
+		fmt.Println(experiments.Table4(*instrs))
+	}
+}

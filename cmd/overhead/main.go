@@ -1,0 +1,17 @@
+// Command overhead regenerates Figure 2 of the paper: the LogGP overhead
+// breakdown (communication startup, data transmission, software processing)
+// of baseline co-simulation across DUTs and platforms.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	instrs := flag.Uint64("instrs", experiments.DefaultInstrs, "dynamic instructions per run")
+	flag.Parse()
+	fmt.Println(experiments.Figure2(*instrs))
+}

@@ -1,0 +1,26 @@
+// Command perf regenerates the performance comparisons: Figure 13 (DUT
+// scales × simulation setups), Table 7 (prior-work comparison), and Table 2
+// (platform overview).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	instrs := flag.Uint64("instrs", experiments.DefaultInstrs, "dynamic instructions per run")
+	prior := flag.Bool("prior", false, "also print the prior-work comparison (Table 7)")
+	platforms := flag.Bool("platforms", false, "also print the platform overview (Table 2)")
+	flag.Parse()
+
+	fmt.Println(experiments.Figure13(*instrs))
+	if *prior {
+		fmt.Println(experiments.Table7(*instrs))
+	}
+	if *platforms {
+		fmt.Println(experiments.Table2())
+	}
+}

@@ -1,0 +1,13 @@
+// Command resource regenerates Figure 15 of the paper: the gate-count cost
+// of the verification hardware with and without the Batch packing unit.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fmt.Println(experiments.Figure15())
+}

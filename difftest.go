@@ -1,0 +1,156 @@
+// Package difftest is a semantic-aware, hardware-accelerated co-simulation
+// framework for processor verification — a complete Go implementation of
+// DiffTest-H ("DiffTest-H: Toward Semantic-Aware Communication in
+// Hardware-Accelerated Processor Verification", MICRO 2025).
+//
+// A design under test (a simulated RISC-V processor) runs on a modeled
+// acceleration platform (Palladium-class emulator, FPGA, or software RTL
+// simulation) and is checked instruction-by-instruction against a golden
+// reference model. Three semantic-aware communication optimizations remove
+// the hardware-software communication bottleneck while preserving
+// instruction-level debuggability:
+//
+//   - Batch packs structurally diverse verification events tightly into
+//     fixed-size packets, minimizing communication frequency.
+//   - Squash fuses events across instructions with the checking order
+//     decoupled from transmission order (NDEs travel ahead with order tags)
+//     and differences repetitive state snapshots, minimizing data volume.
+//   - Replay buffers the original unfused events in hardware and reverts the
+//     reference model via compensation logs, recovering instruction-level
+//     detail when a fused check fails.
+//
+// Quick start:
+//
+//	params := difftest.Params{
+//		DUT:      difftest.XiangShanDefault(),
+//		Platform: difftest.Palladium(),
+//		Opt:      difftest.FullOptimizations(),
+//		Workload: difftest.LinuxBoot(),
+//	}
+//	res, err := difftest.Run(params)
+//	fmt.Println(res.Summary())
+//
+// The package is a thin facade over the internal packages; see DESIGN.md for
+// the system inventory and EXPERIMENTS.md for the paper-experiment index.
+package difftest
+
+import (
+	"repro/internal/arch"
+	"repro/internal/area"
+	"repro/internal/bugs"
+	"repro/internal/checker"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/squash"
+	"repro/internal/workload"
+)
+
+// Core run types.
+type (
+	// Params describes one co-simulation run.
+	Params = cosim.Params
+	// Result reports a run's outcome and performance accounting.
+	Result = cosim.Result
+	// Options selects the communication optimizations (Batch, NonBlocking,
+	// Squash, plus ablation switches).
+	Options = cosim.Options
+	// Mismatch is a detected DUT/REF divergence.
+	Mismatch = checker.Mismatch
+	// ReplayReport is Replay's instruction-level bug analysis.
+	ReplayReport = replay.Report
+	// FusionStats exposes the Squash performance counters.
+	FusionStats = squash.Stats
+)
+
+// Configuration types.
+type (
+	// DUTConfig describes a design under test.
+	DUTConfig = dut.Config
+	// Platform is a verification platform cost model.
+	Platform = platform.Platform
+	// Workload is a benchmark profile.
+	Workload = workload.Profile
+	// Bug is an injectable microarchitectural defect.
+	Bug = bugs.Bug
+	// Hooks inject custom defects into the DUT's execution engine.
+	Hooks = arch.Hooks
+	// AreaEstimate is the verification-hardware gate model (Figure 15).
+	AreaEstimate = area.Estimate
+)
+
+// Run executes one co-simulation end to end.
+func Run(p Params) (*Result, error) { return cosim.Run(p) }
+
+// ParseConfig resolves an artifact configuration name: Z (baseline),
+// EB (+Batch), EBIN (+NonBlock), EBINSD (+Squash).
+func ParseConfig(name string) (Options, error) { return cosim.ParseConfig(name) }
+
+// FullOptimizations returns the complete DiffTest-H stack (EBINSD).
+func FullOptimizations() Options {
+	o, _ := cosim.ParseConfig("EBINSD")
+	return o
+}
+
+// Baseline returns the unoptimized per-event configuration (Z).
+func Baseline() Options { return Options{} }
+
+// DUT configurations (paper Table 4).
+var (
+	// NutShell is the scalar in-order DUT (0.6M gates, 6 event types).
+	NutShell = dut.NutShell
+	// XiangShanMinimal is the 2-wide out-of-order DUT (39.4M gates).
+	XiangShanMinimal = dut.XiangShanMinimal
+	// XiangShanDefault is the 6-wide out-of-order DUT (57.6M gates).
+	XiangShanDefault = dut.XiangShanDefault
+	// XiangShanDefaultDual is the dual-core 6-wide DUT (111.8M gates).
+	XiangShanDefaultDual = dut.XiangShanDefaultDual
+	// DUTConfigs lists all four evaluation DUTs.
+	DUTConfigs = dut.Configs
+)
+
+// Platforms (paper Table 2).
+var (
+	// Palladium models the Cadence Palladium emulator.
+	Palladium = platform.Palladium
+	// FPGA models a Xilinx VU19P prototyping platform.
+	FPGA = platform.FPGA
+	// Verilator models software RTL simulation with N host threads.
+	Verilator = platform.Verilator
+)
+
+// Workload profiles (paper Table 3).
+var (
+	// LinuxBoot models an OS boot: device-heavy, trap-heavy.
+	LinuxBoot = workload.LinuxBoot
+	// Microbench models a tight compute kernel.
+	Microbench = workload.Microbench
+	// SPEC models a SPEC-CPU-like compute workload.
+	SPEC = workload.SPEC
+	// KVM models a hypervisor workload.
+	KVM = workload.KVM
+	// XVisor models a second virtualization workload.
+	XVisor = workload.XVisor
+	// RVVTest models a vector-extension test suite.
+	RVVTest = workload.RVVTest
+	// Workloads lists all built-in profiles.
+	Workloads = workload.Profiles
+	// WorkloadByName looks a profile up by name.
+	WorkloadByName = workload.ByName
+)
+
+// Bug library (paper §6.5 / Table 6).
+var (
+	// BugLibrary returns all injectable bugs.
+	BugLibrary = bugs.Library
+	// BugByID looks an injectable bug up by identifier.
+	BugByID = bugs.ByID
+)
+
+// EstimateArea sizes the verification hardware for a DUT (Figure 15).
+func EstimateArea(d DUTConfig, withBatch bool) AreaEstimate {
+	cfg := area.DefaultConfig()
+	cfg.WithBatch = withBatch
+	return area.ForDUT(d, cfg)
+}

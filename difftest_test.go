@@ -1,0 +1,127 @@
+package difftest
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the facade exactly as the README does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	wl := LinuxBoot()
+	wl.TargetInstrs = 20_000
+	res, err := Run(Params{
+		DUT:      XiangShanDefault(),
+		Platform: Palladium(),
+		Opt:      FullOptimizations(),
+		Workload: wl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch != nil {
+		t.Fatalf("mismatch: %v", res.Mismatch)
+	}
+	if !res.Finished || res.TrapCode != 0 {
+		t.Fatalf("bad verdict: %v %d", res.Finished, res.TrapCode)
+	}
+	if res.SpeedHz < res.DUTOnlyHz/2 {
+		t.Errorf("full stack at %.0f Hz, far from the %.0f Hz ceiling", res.SpeedHz, res.DUTOnlyHz)
+	}
+}
+
+func TestPublicAPIBugInjection(t *testing.T) {
+	b, ok := BugByID("amo-old-value-corrupt")
+	if !ok {
+		t.Fatal("bug library missing amo-old-value-corrupt")
+	}
+	wl := LinuxBoot()
+	wl.TargetInstrs = 120_000
+	res, err := Run(Params{
+		DUT: XiangShanDefault(), Platform: Palladium(),
+		Opt: FullOptimizations(), Workload: wl, Seed: 21, Hooks: b.Hooks(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch == nil || res.Replay == nil || res.Replay.Detailed == nil {
+		t.Fatalf("bug not localized: %v / %v", res.Mismatch, res.Replay)
+	}
+}
+
+func TestPublicAPIConfigNames(t *testing.T) {
+	if Baseline().Name() != "Z" {
+		t.Errorf("Baseline = %s", Baseline().Name())
+	}
+	if FullOptimizations().Name() != "EBINSD" {
+		t.Errorf("FullOptimizations = %s", FullOptimizations().Name())
+	}
+	if len(DUTConfigs()) != 4 || len(Workloads()) != 6 {
+		t.Error("catalogs incomplete")
+	}
+	if len(BugLibrary()) < 15 {
+		t.Error("bug library incomplete")
+	}
+}
+
+func TestPublicAPITrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := Microbench()
+	wl.TargetInstrs = 5_000
+	if _, err := Run(Params{
+		DUT: NutShell(), Platform: Palladium(), Opt: Baseline(),
+		Workload: wl, Trace: w,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, recs, err := r.ReadCycle()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(recs)
+	}
+	if n == 0 {
+		t.Error("trace empty")
+	}
+}
+
+func TestPublicAPIToolkit(t *testing.T) {
+	db := OpenDB()
+	if _, err := db.CreateTable("t", ColumnDef{Name: "k", Type: TypeText},
+		ColumnDef{Name: "b", Type: TypeInteger}); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < NumEventKinds; k++ {
+		kind := EventKind(k)
+		if err := db.Insert("t", kind.String(), EventSize(kind)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Exec("SELECT SUM(b) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) < 3000 {
+		t.Errorf("aggregate interface width = %v", res.Rows[0][0])
+	}
+	if EstimateArea(XiangShanDefault(), true).OverheadPct() <
+		EstimateArea(XiangShanDefault(), false).OverheadPct() {
+		t.Error("Batch area not larger")
+	}
+}

@@ -1,0 +1,31 @@
+// Quickstart: run the full DiffTest-H stack on a XiangShan-class DUT for a
+// short Linux-boot-profile workload on the Palladium platform model, and
+// print the co-simulation verdict and speed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	difftest "repro"
+)
+
+func main() {
+	wl := difftest.LinuxBoot()
+	wl.TargetInstrs = 100_000
+
+	res, err := difftest.Run(difftest.Params{
+		DUT:      difftest.XiangShanDefault(),
+		Platform: difftest.Palladium(),
+		Opt:      difftest.FullOptimizations(), // Batch + NonBlock + Squash
+		Workload: wl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Summary())
+	fmt.Printf("DUT-only ceiling: %.0f KHz — co-simulation reached %.1f%% of it\n",
+		res.DUTOnlyHz/1e3, res.SpeedHz/res.DUTOnlyHz*100)
+	fmt.Printf("communication overhead: %.2f%% of total time\n", res.CommOverheadShare*100)
+}

@@ -1,0 +1,98 @@
+// Tuning demonstrates the DiffTest-H tuning toolkit (paper §5):
+// (1) performance counters from a run, (2) DUT-trace dump and checker
+// re-drive for iterative debugging, and (3) SQL analysis of the
+// transmission log to find fusion/differencing opportunities.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	difftest "repro"
+)
+
+func main() {
+	wl := difftest.Microbench()
+	wl.TargetInstrs = 50_000
+
+	// (1) Performance counters.
+	res, err := difftest.Run(difftest.Params{
+		DUT:      difftest.XiangShanDefault(),
+		Platform: difftest.FPGA(),
+		Opt:      difftest.FullOptimizations(),
+		Workload: wl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("— performance counters —")
+	fmt.Printf("transfers: %d, wire bytes: %d, packet utilization: %.2f\n",
+		res.Invokes, res.WireBytes, res.PacketUtilation)
+	fmt.Printf("fusion ratio: %.1f (windows %d, diffs %d, NDEs ahead %d)\n",
+		res.Fusion.FusionRatio(), res.Fusion.Windows, res.Fusion.Diffs, res.Fusion.NDEsAhead)
+
+	// (2) Trace dump + reload: a short run dumps its monitor stream, which
+	// can then re-drive the verification logic without the DUT.
+	var buf bytes.Buffer
+	w, err := difftest.NewTraceWriter(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	short := wl
+	short.TargetInstrs = 10_000
+	if _, err := difftest.Run(difftest.Params{
+		DUT:      difftest.XiangShanDefault(),
+		Platform: difftest.Palladium(),
+		Opt:      difftest.Baseline(),
+		Workload: short,
+		Trace:    w,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	r, err := difftest.NewTraceReader(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := 0
+	for {
+		_, recs, err := r.ReadCycle()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		events += len(recs)
+	}
+	fmt.Printf("\n— trace toolkit —\ndumped a %d-event DUT trace (%d bytes) and reloaded it without the DUT\n",
+		events, buf.Cap())
+
+	// (3) SQL analysis: which event kinds dominate transmission volume?
+	db := difftest.OpenDB()
+	if _, err := db.CreateTable("tx",
+		difftest.ColumnDef{Name: "kind", Type: difftest.TypeText},
+		difftest.ColumnDef{Name: "category", Type: difftest.TypeText},
+		difftest.ColumnDef{Name: "bytes", Type: difftest.TypeInteger},
+	); err != nil {
+		log.Fatal(err)
+	}
+	for k := 0; k < difftest.NumEventKinds; k++ {
+		kind := difftest.EventKind(k)
+		if err := db.Insert("tx", kind.String(), difftest.EventCategory(kind),
+			difftest.EventSize(kind)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	out, err := db.Exec(`SELECT category, COUNT(*) AS kinds, SUM(bytes) AS width
+	                     FROM tx GROUP BY category ORDER BY width DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n— SQL analysis: interface width by category —")
+	fmt.Print(out)
+}

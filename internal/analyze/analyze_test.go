@@ -1,0 +1,82 @@
+package analyze_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/arch"
+	"repro/internal/dut"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func dumpedTrace(t *testing.T, cores int) *bytes.Buffer {
+	t.Helper()
+	prof := workload.LinuxBoot()
+	prof.TargetInstrs = 10_000
+	prog := workload.Generate(prof, cores, 13)
+	cfg := dut.XiangShanDefault()
+	cfg.Cores = cores
+	d := dut.New(cfg, prog.Image, prog.Entries, arch.Hooks{})
+
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		recs, done := d.StepCycle()
+		if err := w.WriteCycle(d.CycleCount, recs); err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestOfflineStudyFindsLargeReduction(t *testing.T) {
+	buf := dumpedTrace(t, 1)
+	r, err := trace.NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analyze.Trace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.Events == 0 {
+		t.Fatal("empty study")
+	}
+	if res.Reduction() < 5 {
+		t.Errorf("offline reduction = %.1fx, expected fusion+differencing to cut volume hard", res.Reduction())
+	}
+	if res.Fusion.FusionRatio() < 8 {
+		t.Errorf("fusion ratio = %.1f", res.Fusion.FusionRatio())
+	}
+	out := res.String()
+	if !strings.Contains(out, "reduction") || !strings.Contains(out, "CSRState") {
+		t.Errorf("report:\n%s", out)
+	}
+}
+
+func TestOfflineStudyDualCore(t *testing.T) {
+	buf := dumpedTrace(t, 2)
+	r, err := trace.NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analyze.Trace(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fusion.Windows == 0 {
+		t.Error("no windows fused on dual-core trace")
+	}
+}

@@ -1,0 +1,92 @@
+package arch
+
+// The compensation log records the *old* value of every architectural state
+// mutation so the reference model can be reverted to a checkpoint without
+// full snapshots (paper §4.4, "Revert Reference Model"). Reverting writes
+// the logged old values back in reverse order.
+
+type compKind uint8
+
+const (
+	compGPR compKind = iota
+	compFPR
+	compVReg
+	compCSR
+	compPC
+	compMem
+	compLr
+	compPriv
+)
+
+type compEntry struct {
+	kind compKind
+	idx  uint32 // register index, CSR index, or vreg lane (idx*4+lane)
+	addr uint64 // memory address / old PC / old LrAddr
+	old  uint64 // old value; for compLr: bit0 = old LrValid
+	size uint8  // memory access size
+}
+
+// CompLog accumulates compensation entries. The zero value is ready to use
+// but disabled; call Enable first.
+type CompLog struct {
+	entries []compEntry
+	enabled bool
+}
+
+// Enable turns on logging.
+func (l *CompLog) Enable() { l.enabled = true }
+
+// Enabled reports whether mutations are being recorded.
+func (l *CompLog) Enabled() bool { return l != nil && l.enabled }
+
+// Mark returns the current log position, usable as a checkpoint token.
+func (l *CompLog) Mark() int { return len(l.entries) }
+
+// TrimBefore discards entries older than mark, rebasing later marks by
+// returning the number of dropped entries. Callers must subtract the result
+// from any retained marks.
+func (l *CompLog) TrimBefore(mark int) int {
+	if mark <= 0 {
+		return 0
+	}
+	n := copy(l.entries, l.entries[mark:])
+	l.entries = l.entries[:n]
+	return mark
+}
+
+// Len reports the number of buffered entries (for stats/tests).
+func (l *CompLog) Len() int { return len(l.entries) }
+
+func (l *CompLog) push(e compEntry) {
+	if l.enabled {
+		l.entries = append(l.entries, e)
+	}
+}
+
+// RevertTo rolls the machine back to the state it had at mark by applying
+// logged old values in reverse order, then truncates the log.
+func (l *CompLog) RevertTo(m *Machine, mark int) {
+	for i := len(l.entries) - 1; i >= mark; i-- {
+		e := l.entries[i]
+		switch e.kind {
+		case compGPR:
+			m.State.GPR[e.idx] = e.old
+		case compFPR:
+			m.State.FPR[e.idx] = e.old
+		case compVReg:
+			m.State.VReg[e.idx/4][e.idx%4] = e.old
+		case compCSR:
+			m.State.CSR[e.idx] = e.old
+		case compPC:
+			m.State.PC = e.addr
+		case compMem:
+			m.Mem.Write(e.addr, int(e.size), e.old)
+		case compLr:
+			m.State.LrValid = e.old&1 != 0
+			m.State.LrAddr = e.addr
+		case compPriv:
+			m.State.Priv = e.old
+		}
+	}
+	l.entries = l.entries[:mark]
+}

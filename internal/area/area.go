@@ -1,0 +1,158 @@
+// Package area estimates the gate-count cost of the DiffTest-H hardware
+// units (monitor, Squash, Replay buffer, Batch packer, communication unit),
+// reproducing the resource analysis of paper §6.4 / Figure 15: roughly 6%
+// overhead over the DUT without Batch, rising to ~25% with Batch's unified
+// packing interface.
+//
+// The model is analytical: unit areas scale with the monitored event widths,
+// the fusion state, the replay buffer depth, and the packet-assembly
+// crossbar, with gate-per-bit constants calibrated to the paper's reported
+// overheads on XiangShan (Default).
+package area
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dut"
+	"repro/internal/event"
+)
+
+// Gate-per-bit calibration constants.
+const (
+	gatesPerMonitorBit = 4.0 // probe flops + valid/ready wiring
+	gatesPerSquashBit  = 8.0 // fusion accumulators + differencing XOR trees
+	gatesPerBufferBit  = 1.2 // replay ring (SRAM-dominated)
+	gatesPerMuxStage   = 2.7 // packing barrel-shifter per bit and stage
+	batchLaneFactor    = 7.0 // parallel packing lanes over the interface
+	gatesPerCommBit    = 2.0 // send/receive queues
+)
+
+// Config sizes the verification hardware.
+type Config struct {
+	WithBatch    bool
+	WithSquash   bool
+	WithReplay   bool
+	PacketBytes  int // Batch packet size
+	ReplayDepth  int // replay ring entries
+	CommQueue    int // communication queue entries
+	AvgRecordLen int // mean buffered record size (bytes)
+}
+
+// DefaultConfig returns the deployment configuration used in the paper's
+// resource analysis.
+func DefaultConfig() Config {
+	return Config{
+		WithBatch: true, WithSquash: true, WithReplay: true,
+		PacketBytes: 4096, ReplayDepth: 2048, CommQueue: 16, AvgRecordLen: 96,
+	}
+}
+
+// Estimate breaks down verification-hardware area in millions of gates.
+type Estimate struct {
+	DUTGatesM float64
+
+	MonitorM float64
+	SquashM  float64
+	ReplayM  float64
+	BatchM   float64
+	CommM    float64
+}
+
+// TotalM returns the verification hardware total in millions of gates.
+func (e Estimate) TotalM() float64 {
+	return e.MonitorM + e.SquashM + e.ReplayM + e.BatchM + e.CommM
+}
+
+// OverheadPct returns verification area as a percentage of the DUT.
+func (e Estimate) OverheadPct() float64 {
+	if e.DUTGatesM == 0 {
+		return 0
+	}
+	return e.TotalM() / e.DUTGatesM * 100
+}
+
+// String renders a Figure-15-style row.
+func (e Estimate) String() string {
+	return fmt.Sprintf("DUT %.1fM + verif %.2fM (monitor %.2f, squash %.2f, replay %.2f, batch %.2f, comm %.2f) = %.1f%% overhead",
+		e.DUTGatesM, e.TotalM(), e.MonitorM, e.SquashM, e.ReplayM, e.BatchM, e.CommM, e.OverheadPct())
+}
+
+// interfaceBits returns the per-cycle monitor interface width in bits for a
+// DUT: every monitored kind with its worst-case instance count per cycle.
+func interfaceBits(d dut.Config) float64 {
+	kinds := d.EventKinds
+	if len(kinds) == 0 {
+		for k := event.Kind(0); k < event.NumKinds; k++ {
+			kinds = append(kinds, k)
+		}
+	}
+	burst := d.BurstMax
+	if burst < 1 {
+		burst = 1
+	}
+	bits := 0.0
+	for _, k := range kinds {
+		inst := 1
+		switch k {
+		case event.KindInstrCommit, event.KindLoad, event.KindStore,
+			event.KindAtomic, event.KindVecMem, event.KindHLoad,
+			event.KindLrSc, event.KindRefill, event.KindCMO,
+			event.KindL1TLB, event.KindL2TLB, event.KindSbuffer,
+			event.KindVecCommit, event.KindVecWriteback,
+			event.KindVstartUpdate, event.KindRedirect:
+			inst = burst
+		}
+		bits += float64(event.SizeOf(k)*8) * float64(inst)
+	}
+	return bits * float64(maxInt(1, d.Cores))
+}
+
+// stateBits returns the architectural-state width fused by Squash.
+func stateBits(d dut.Config) float64 {
+	enabled := d.EnabledKinds()
+	bits := 0.0
+	for k := event.Kind(0); k < event.NumKinds; k++ {
+		if enabled[k] && event.CategoryOf(k) == event.CatRegisterUpdate {
+			bits += float64(event.SizeOf(k) * 8)
+		}
+	}
+	return bits * float64(maxInt(1, d.Cores))
+}
+
+// Estimate sizes the verification hardware for a DUT.
+func ForDUT(d dut.Config, cfg Config) Estimate {
+	e := Estimate{DUTGatesM: d.GatesM}
+	ifBits := interfaceBits(d)
+
+	e.MonitorM = ifBits * gatesPerMonitorBit / 1e6
+
+	if cfg.WithSquash {
+		e.SquashM = stateBits(d) * gatesPerSquashBit / 1e6
+	}
+	if cfg.WithReplay {
+		bufBits := float64(cfg.ReplayDepth*cfg.AvgRecordLen*8) * float64(maxInt(1, d.Cores))
+		e.ReplayM = bufBits * gatesPerBufferBit / 1e6
+	}
+	if cfg.WithBatch {
+		// Tight packing needs a barrel-shifter crossbar sized by the
+		// monitor interface width and the packet depth, plus
+		// double-buffered packet staging — the cost of the unified
+		// hardware-software interface (paper §6.4: enabling Batch raises
+		// overhead to ~25%).
+		pktBits := float64(cfg.PacketBytes * 8)
+		stages := math.Log2(pktBits)
+		e.BatchM = (ifBits*stages*gatesPerMuxStage*batchLaneFactor + 2*pktBits*gatesPerBufferBit) / 1e6
+	}
+	queueBits := float64(cfg.CommQueue * cfg.PacketBytes * 8)
+	e.CommM = queueBits * gatesPerCommBit / 1e6
+
+	return e
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+package area
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dut"
+)
+
+// TestFigure15Bands checks the paper's resource-analysis claims: ~6% area
+// overhead without Batch, rising to ~25% (max 26%) with Batch, across the
+// XiangShan configurations.
+func TestFigure15Bands(t *testing.T) {
+	noBatch := DefaultConfig()
+	noBatch.WithBatch = false
+	for _, d := range dut.Configs()[1:] { // XiangShan configs only
+		full := ForDUT(d, DefaultConfig())
+		slim := ForDUT(d, noBatch)
+		if p := full.OverheadPct(); p < 15 || p > 32 {
+			t.Errorf("%s with Batch = %.1f%%, want ~25%%", d.Name, p)
+		}
+		if p := slim.OverheadPct(); p < 3 || p > 10 {
+			t.Errorf("%s without Batch = %.1f%%, want ~6%%", d.Name, p)
+		}
+		if full.TotalM() <= slim.TotalM() {
+			t.Errorf("%s: Batch did not add area", d.Name)
+		}
+	}
+}
+
+func TestUnitsRespondToConfig(t *testing.T) {
+	d := dut.XiangShanDefault()
+	base := ForDUT(d, DefaultConfig())
+	noSquash := DefaultConfig()
+	noSquash.WithSquash = false
+	if got := ForDUT(d, noSquash); got.SquashM != 0 || got.TotalM() >= base.TotalM() {
+		t.Error("disabling Squash did not shrink the estimate")
+	}
+	deep := DefaultConfig()
+	deep.ReplayDepth *= 4
+	if got := ForDUT(d, deep); got.ReplayM <= base.ReplayM {
+		t.Error("deeper replay buffer did not grow the estimate")
+	}
+}
+
+func TestMonitorScalesWithKinds(t *testing.T) {
+	nut := ForDUT(dut.NutShell(), DefaultConfig())
+	xs := ForDUT(dut.XiangShanDefault(), DefaultConfig())
+	if nut.MonitorM >= xs.MonitorM {
+		t.Error("6-kind NutShell monitor not smaller than 32-kind XiangShan")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := ForDUT(dut.XiangShanDefault(), DefaultConfig()).String()
+	if !strings.Contains(s, "overhead") || !strings.Contains(s, "monitor") {
+		t.Errorf("rendering: %s", s)
+	}
+}

@@ -1,0 +1,124 @@
+package batch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/wire"
+)
+
+// Mixed-item transport property: the packer/unpacker must round-trip every
+// wire item class Squash emits — raw events, order-tagged NDEs, fused commit
+// summaries, window digests, and variable-length diffs — across arbitrary
+// packet boundaries, preserving per-cycle content exactly.
+
+func randomMixedCycle(r *rand.Rand, seqBase uint64) []wire.Item {
+	var items []wire.Item
+	slot := uint8(0)
+	n := 1 + r.Intn(6)
+	for i := 0; i < n; i++ {
+		slot++
+		switch r.Intn(5) {
+		case 0:
+			items = append(items, wire.RawItem(0, slot, &event.InstrCommit{PC: r.Uint64()}))
+		case 1:
+			items = append(items, wire.NDEItem(0, slot, seqBase+uint64(i),
+				&event.Interrupt{Cause: 7, PC: r.Uint64()}))
+		case 2:
+			items = append(items, wire.NDEItem(0, slot, seqBase+uint64(i),
+				&event.Refill{Addr: r.Uint64()}))
+		case 3:
+			prev := &event.CSRState{Mstatus: r.Uint64()}
+			cur := &event.CSRState{Mstatus: r.Uint64(), Mepc: r.Uint64()}
+			items = append(items, wire.DiffItem(0, slot, seqBase, prev, cur))
+		case 4:
+			items = append(items, wire.FusedItem(0, slot, wire.FusedCommit{
+				LastSeq: seqBase, Count: uint64(r.Intn(64)), LastPC: r.Uint64(),
+				PCDigest: r.Uint64(), WDigest: r.Uint64(), StartToken: r.Uint64(),
+			}))
+			items = append(items, wire.DigestItem(0, slot, uint32(r.Intn(100)), r.Uint64()))
+		}
+	}
+	return items
+}
+
+func itemsEqual(a, b wire.Item) bool {
+	if a.Type != b.Type || a.Core != b.Core || a.Slot != b.Slot || len(a.Payload) != len(b.Payload) {
+		return false
+	}
+	for i := range a.Payload {
+		if a.Payload[i] != b.Payload[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMixedItemRoundTrip(t *testing.T) {
+	for _, pktSize := range []int{MinPacketBytes, 4096, 16384} {
+		r := rand.New(rand.NewSource(int64(pktSize) + 99))
+		p := NewPacker(pktSize)
+		var u Unpacker
+		var sent, got []wire.Item
+
+		for c := 0; c < 400; c++ {
+			cycle := randomMixedCycle(r, uint64(c)*10)
+			sent = append(sent, cycle...)
+			for _, pkt := range p.AddCycle(cycle) {
+				rx, err := u.AddPacket(pkt.Buf)
+				if err != nil {
+					t.Fatalf("pkt %d: %v", pktSize, err)
+				}
+				got = append(got, rx...)
+			}
+		}
+		for _, pkt := range p.Flush() {
+			rx, err := u.AddPacket(pkt.Buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, rx...)
+		}
+		got = append(got, u.Flush()...)
+
+		if len(got) != len(sent) {
+			t.Fatalf("pkt %d: %d items in, %d out", pktSize, len(sent), len(got))
+		}
+		// Compare as per-cycle multisets: within a cycle the unpacker
+		// restores (slot, priority) order, which may differ from emission
+		// order for same-slot mixed classes; content must be identical.
+		// Since randomMixedCycle uses strictly increasing slots, order is
+		// in fact fully preserved.
+		for i := range sent {
+			if !itemsEqual(sent[i], got[i]) {
+				t.Fatalf("pkt %d: item %d differs: %+v vs %+v", pktSize, i, sent[i], got[i])
+			}
+		}
+	}
+}
+
+func TestMixedItemsFuzzDoNotPanic(t *testing.T) {
+	// Corrupted packets must produce errors, never panics or silent junk
+	// acceptance of impossible structure.
+	r := rand.New(rand.NewSource(77))
+	p := NewPacker(4096)
+	var pkts []Packet
+	for c := 0; c < 50; c++ {
+		pkts = append(pkts, p.AddCycle(randomMixedCycle(r, uint64(c)))...)
+	}
+	pkts = append(pkts, p.Flush()...)
+	for _, pkt := range pkts {
+		for trial := 0; trial < 20; trial++ {
+			buf := append([]byte(nil), pkt.Buf...)
+			// Flip a few random bytes.
+			for j := 0; j < 3; j++ {
+				buf[r.Intn(len(buf))] ^= byte(1 + r.Intn(255))
+			}
+			var u Unpacker
+			_, err := u.AddPacket(buf) // error or success both fine; no panic
+			_ = err
+			u.Flush()
+		}
+	}
+}

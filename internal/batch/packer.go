@@ -1,0 +1,201 @@
+// Package batch implements the Batch mechanism (paper §4.2): minimizing
+// communication frequency by tightly packing structurally diverse
+// verification events into fixed-size transmission packets.
+//
+// Packing is three-level, mirroring Figure 6 of the paper:
+//
+//  1. Type-level: same-type events within a cycle are collected into a
+//     segment (the hardware analogue is a prefix-counter mux-tree,
+//     Figure 7; in software an order-preserving group-by).
+//  2. Cycle-level: a cycle's segments are concatenated, each segment's
+//     offset being the sum of the preceding segments' lengths.
+//  3. Transmission-level: cycle data is appended to fixed-size packets,
+//     splitting segments at event boundaries so the residual space of a
+//     packet is filled instead of wasted.
+//
+// Each packet carries a metadata table (event type, core, cycle tag, count,
+// byte length per segment) that guides the software parser's dynamic
+// unpacking. The package also provides the fixed-offset packing baseline the
+// paper compares against (fixed.go), which pads invalid event slots with
+// bubbles.
+package batch
+
+import (
+	"encoding/binary"
+
+	"repro/internal/event"
+	"repro/internal/wire"
+)
+
+const (
+	packetHeader = 4 // segment count (2B) + payload offset (2B)
+	metaSize     = 8 // per-segment metadata entry
+)
+
+// Packet is one fixed-size transmission unit.
+type Packet struct {
+	Buf    []byte // exactly PacketBytes long
+	Used   int    // content bytes (header + meta + payloads)
+	Events int    // verification events carried
+	Instrs int    // retired instructions covered (for software cost)
+}
+
+// segment is a run of same-type, same-core items from one cycle.
+type segment struct {
+	typ, core, cycle uint8
+	items            []wire.Item
+	bytes            int
+}
+
+// Packer assembles wire items into fixed-size packets.
+type Packer struct {
+	PacketBytes int
+
+	cycleTag uint8
+	open     []segment
+	openUsed int
+
+	// Stats.
+	Packets      uint64
+	ContentBytes uint64
+	ItemCount    uint64
+}
+
+// MinPacketBytes is the smallest usable packet: it must hold the largest
+// single wire item (an order-tagged ArchVecRegState) plus framing.
+var MinPacketBytes = packetHeader + metaSize + 1 + 8 + maxEventSize()
+
+func maxEventSize() int {
+	max := 0
+	for k := event.Kind(0); k < event.NumKinds; k++ {
+		if s := event.SizeOf(k); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NewPacker returns a packer emitting packets of the given size, clamped up
+// to MinPacketBytes so every item fits in an empty packet.
+func NewPacker(packetBytes int) *Packer {
+	if packetBytes < MinPacketBytes {
+		packetBytes = MinPacketBytes
+	}
+	return &Packer{PacketBytes: packetBytes, openUsed: packetHeader}
+}
+
+// AddCycle performs type- and cycle-level packing of one cycle's items and
+// appends them to the open packet, returning any packets that filled up.
+func (p *Packer) AddCycle(items []wire.Item) []Packet {
+	if len(items) == 0 {
+		return nil
+	}
+	p.cycleTag++
+	segs := groupByType(items, p.cycleTag)
+
+	var out []Packet
+	for _, seg := range segs {
+		out = append(out, p.appendSegment(seg)...)
+	}
+	return out
+}
+
+// groupByType collects same-(type,core) items into segments in first-seen
+// order — the software analogue of the prefix-counter mux-tree (Fig. 7).
+func groupByType(items []wire.Item, cycle uint8) []segment {
+	var segs []segment
+	index := map[uint16]int{}
+	for _, it := range items {
+		key := uint16(it.Type)<<8 | uint16(it.Core)
+		i, ok := index[key]
+		if !ok {
+			i = len(segs)
+			index[key] = i
+			segs = append(segs, segment{typ: it.Type, core: it.Core, cycle: cycle})
+		}
+		segs[i].items = append(segs[i].items, it)
+		segs[i].bytes += it.WireSize()
+	}
+	return segs
+}
+
+// appendSegment performs transmission-level packing: the segment fills the
+// open packet's residual space and splits at item boundaries when needed.
+func (p *Packer) appendSegment(seg segment) []Packet {
+	var out []Packet
+	for len(seg.items) > 0 {
+		free := p.PacketBytes - p.openUsed - metaSize*(len(p.open)+1)
+		if free < seg.items[0].WireSize() {
+			if len(p.open) == 0 {
+				// Cannot happen with a clamped packet size; avoid looping.
+				panic("batch: item larger than packet")
+			}
+			// Not even one item fits: close this packet.
+			out = append(out, p.closePacket())
+			continue
+		}
+		// Take as many items as fit.
+		take, bytes := 0, 0
+		for _, it := range seg.items {
+			if bytes+it.WireSize() > free {
+				break
+			}
+			bytes += it.WireSize()
+			take++
+		}
+		part := segment{typ: seg.typ, core: seg.core, cycle: seg.cycle,
+			items: seg.items[:take], bytes: bytes}
+		p.open = append(p.open, part)
+		p.openUsed += bytes
+		seg.items = seg.items[take:]
+		seg.bytes -= bytes
+	}
+	return out
+}
+
+// Flush closes the open packet, if any.
+func (p *Packer) Flush() []Packet {
+	if len(p.open) == 0 {
+		return nil
+	}
+	return []Packet{p.closePacket()}
+}
+
+func (p *Packer) closePacket() Packet {
+	buf := make([]byte, p.PacketBytes)
+	binary.LittleEndian.PutUint16(buf[0:], uint16(len(p.open)))
+	payloadOff := packetHeader + metaSize*len(p.open)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(payloadOff))
+
+	pkt := Packet{Buf: buf}
+	pos := payloadOff
+	for i, seg := range p.open {
+		m := buf[packetHeader+i*metaSize:]
+		m[0], m[1], m[2] = seg.typ, seg.core, seg.cycle
+		binary.LittleEndian.PutUint16(m[4:], uint16(len(seg.items)))
+		binary.LittleEndian.PutUint16(m[6:], uint16(seg.bytes))
+		for _, it := range seg.items {
+			buf[pos] = it.Slot
+			pos++
+			pos += copy(buf[pos:], it.Payload)
+			pkt.Events++
+			pkt.Instrs += it.InstrCount()
+		}
+		p.ItemCount += uint64(len(seg.items))
+	}
+	pkt.Used = pos
+	p.ContentBytes += uint64(pos)
+	p.Packets++
+	p.open = p.open[:0]
+	p.openUsed = packetHeader
+	return pkt
+}
+
+// Utilization reports the mean fraction of packet space carrying content —
+// the Batch packet-utilization performance counter (paper §5).
+func (p *Packer) Utilization() float64 {
+	if p.Packets == 0 {
+		return 0
+	}
+	return float64(p.ContentBytes) / float64(p.Packets*uint64(p.PacketBytes))
+}

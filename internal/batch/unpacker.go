@@ -1,0 +1,129 @@
+package batch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/wire"
+)
+
+// Unpacker performs meta-guided dynamic unpacking (paper §4.2.2): it reads
+// each packet's metadata table, computes segment offsets as running length
+// sums, reconstructs items with their per-kind structure, and restores the
+// per-core checking order within each cycle group.
+//
+// Because transmission-level packing may split a cycle across packets, the
+// unpacker holds the most recent cycle group until a newer cycle tag (or
+// Flush) proves it complete.
+type Unpacker struct {
+	pending   []wire.Item
+	pendingID uint8
+	havePend  bool
+
+	// Stats.
+	Items   uint64
+	Packets uint64
+}
+
+// AddPacket parses one packet and returns all items of cycles that are now
+// complete, in restored checking order.
+func (u *Unpacker) AddPacket(buf []byte) ([]wire.Item, error) {
+	u.Packets++
+	if len(buf) < packetHeader {
+		return nil, fmt.Errorf("batch: packet shorter than header")
+	}
+	segCount := int(binary.LittleEndian.Uint16(buf[0:]))
+	pos := int(binary.LittleEndian.Uint16(buf[2:]))
+	if packetHeader+segCount*metaSize > len(buf) || pos > len(buf) {
+		return nil, fmt.Errorf("batch: corrupt packet header (%d segments)", segCount)
+	}
+
+	var done []wire.Item
+	for s := 0; s < segCount; s++ {
+		m := buf[packetHeader+s*metaSize:]
+		typ, core, cycle := m[0], m[1], m[2]
+		count := int(binary.LittleEndian.Uint16(m[4:]))
+		segBytes := int(binary.LittleEndian.Uint16(m[6:]))
+		if pos+segBytes > len(buf) {
+			return nil, fmt.Errorf("batch: segment overruns packet")
+		}
+
+		if !u.havePend || cycle != u.pendingID {
+			done = append(done, u.release()...)
+			u.pendingID, u.havePend = cycle, true
+		}
+
+		seg := buf[pos : pos+segBytes]
+		items, err := parseSegment(typ, core, count, seg)
+		if err != nil {
+			return nil, err
+		}
+		u.pending = append(u.pending, items...)
+		pos += segBytes
+	}
+	return done, nil
+}
+
+// Flush releases the final pending cycle group.
+func (u *Unpacker) Flush() []wire.Item {
+	return u.release()
+}
+
+func (u *Unpacker) release() []wire.Item {
+	if len(u.pending) == 0 {
+		return nil
+	}
+	out := append([]wire.Item(nil), u.pending...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].SortKey() < out[j].SortKey() })
+	u.pending = u.pending[:0]
+	u.Items += uint64(len(out))
+	return out
+}
+
+// parseSegment slices a segment payload into items using the per-kind
+// structural metadata: fixed sizes for raw/NDE/fused items, mask-derived
+// lengths for diff items.
+func parseSegment(typ, core uint8, count int, seg []byte) ([]wire.Item, error) {
+	items := make([]wire.Item, 0, count)
+	pos := 0
+	for i := 0; i < count; i++ {
+		if pos >= len(seg) {
+			return nil, fmt.Errorf("batch: segment truncated at item %d/%d", i, count)
+		}
+		slot := seg[pos]
+		pos++
+		var n int
+		switch {
+		case typ < wire.TypeNDEBase:
+			n = event.SizeOf(event.Kind(typ))
+		case typ < wire.TypeFused:
+			n = 8 + event.SizeOf(event.Kind(typ-wire.TypeNDEBase))
+		case typ == wire.TypeFused:
+			n = wire.FusedPayloadSize
+		case typ == wire.TypeDigest:
+			n = 16
+		case typ >= wire.TypeDiffBase && typ < wire.TypeInvalid:
+			var err error
+			n, err = wire.ParseDiffLen(event.Kind(typ-wire.TypeDiffBase), seg[pos:])
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("batch: unknown item type %d", typ)
+		}
+		if pos+n > len(seg) {
+			return nil, fmt.Errorf("batch: item %d overruns segment (type %d)", i, typ)
+		}
+		items = append(items, wire.Item{
+			Type: typ, Core: core, Slot: slot,
+			Payload: append([]byte(nil), seg[pos:pos+n]...),
+		})
+		pos += n
+	}
+	if pos != len(seg) {
+		return nil, fmt.Errorf("batch: %d trailing segment bytes", len(seg)-pos)
+	}
+	return items, nil
+}

@@ -1,0 +1,378 @@
+// Package bugs is an injectable library of microarchitectural defects
+// modeled on the 151 bugs DiffTest-H uncovered in XiangShan (paper §6.5,
+// Table 6): exception and interrupt handling errors, memory hierarchy and
+// coherence issues, and vector/control logic errors. Each bug is latent
+// until its trigger condition has occurred a configurable number of times,
+// reproducing the paper's observation that real bugs manifest only after
+// millions of cycles (Figure 14).
+//
+// Bugs are implemented as architectural hooks on the DUT's execution engine;
+// the reference model never sees them, so every manifestation is a genuine
+// DUT/REF divergence for the checker to catch.
+package bugs
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// Category groups bugs per Table 6.
+type Category uint8
+
+// Bug categories.
+const (
+	CatException Category = iota // exception and interrupt handling errors
+	CatMemory                    // memory hierarchy and coherence issues
+	CatVector                    // vector and control logic errors
+	NumCategories
+)
+
+// String returns the Table-6 category label.
+func (c Category) String() string {
+	switch c {
+	case CatException:
+		return "Exception and interrupt handling errors"
+	case CatMemory:
+		return "Memory hierarchy and coherence issues"
+	case CatVector:
+		return "Vector and control logic errors"
+	}
+	return "Unknown"
+}
+
+// Bug describes one injectable defect.
+type Bug struct {
+	ID          string
+	PR          string // upstream pull request that fixed the real-world analogue
+	Category    Category
+	Description string
+	// DefaultTrigger is the number of trigger-condition occurrences before
+	// the bug manifests (tunable per experiment).
+	DefaultTrigger int
+
+	make func(threshold int, fired *Fired) arch.Hooks
+}
+
+// Fired records when an instrumented bug manifested: the retired-instruction
+// index at the moment of corruption (0 until it fires). Comparing it with
+// the checker's mismatch position measures detection latency — the
+// debuggability cost of fusion that Replay bounds (paper §4.4).
+type Fired struct {
+	Manifested bool
+	Instr      uint64 // InstrRet at corruption
+}
+
+// Hooks builds the bug's injection hooks with the given latency threshold
+// (0 uses DefaultTrigger). Each call returns independent trigger state.
+func (b *Bug) Hooks(threshold int) arch.Hooks {
+	h, _ := b.Instrument(threshold)
+	return h
+}
+
+// Instrument is Hooks plus manifestation tracking.
+func (b *Bug) Instrument(threshold int) (arch.Hooks, *Fired) {
+	if threshold <= 0 {
+		threshold = b.DefaultTrigger
+	}
+	fired := &Fired{}
+	return b.make(threshold, fired), fired
+}
+
+// String renders the bug for inventories.
+func (b *Bug) String() string {
+	return fmt.Sprintf("%-24s %-6s %s", b.ID, b.PR, b.Description)
+}
+
+// counterHook wraps a predicate and a corruption: the corruption fires on
+// exactly the threshold-th occurrence of the predicate.
+func counterHook(pred func(*arch.Machine, *arch.Exec) bool,
+	corrupt func(*arch.Machine, *arch.Exec)) func(int, *Fired) arch.Hooks {
+	return func(threshold int, fired *Fired) arch.Hooks {
+		n := 0
+		return arch.Hooks{AfterExec: func(m *arch.Machine, ex *arch.Exec) {
+			if !pred(m, ex) {
+				return
+			}
+			n++
+			if n == threshold {
+				corrupt(m, ex)
+				fired.Manifested = true
+				fired.Instr = m.InstrRet
+			}
+		}}
+	}
+}
+
+// Library returns the full bug library.
+func Library() []*Bug {
+	return []*Bug{
+		// --- Exception and interrupt handling errors (paper PRs #3639,
+		// #4239, #4263, #3991, #3778, #4157) ---
+		{
+			ID: "mepc-misaligned-on-trap", PR: "#3639", Category: CatException,
+			Description:    "trap entry writes a byte-misaligned mepc (incorrect virtual address generation)",
+			DefaultTrigger: 40,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Exception },
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.SetCSR(isa.CSRMepc, m.State.CSRVal(isa.CSRMepc)|2)
+				}),
+		},
+		{
+			ID: "mpie-lost-on-trap", PR: "#4239", Category: CatException,
+			Description:    "mstatus.MPIE not saved on trap entry (improper interrupt response)",
+			DefaultTrigger: 60,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Exception },
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.SetCSR(isa.CSRMstatus, m.State.CSRVal(isa.CSRMstatus)&^uint64(1<<7))
+				}),
+		},
+		{
+			ID: "ecall-cause-corrupt", PR: "#4263", Category: CatException,
+			Description:    "ecall records the wrong mcause value",
+			DefaultTrigger: 30,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return ex.Exception && ex.Cause == isa.ExcEcallM
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.SetCSR(isa.CSRMcause, isa.ExcBreakpoint)
+					ex.Cause = isa.ExcBreakpoint
+				}),
+		},
+		{
+			ID: "mtval-wrong-guest-fault", PR: "#3991", Category: CatException,
+			Description:    "guest page fault records a truncated mtval (TLB deadlock territory)",
+			DefaultTrigger: 8,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return ex.Exception && ex.Cause == isa.ExcGuestLoadPageFault
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					bad := ex.Tval & 0xFFFF
+					m.State.SetCSR(isa.CSRMtval, bad)
+					ex.Tval = bad
+				}),
+		},
+		{
+			ID: "mret-mie-restore-broken", PR: "#3778", Category: CatException,
+			Description:    "mret fails to restore mstatus.MIE from MPIE",
+			DefaultTrigger: 50,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Inst.Op == isa.OpMRET },
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.SetCSR(isa.CSRMstatus, m.State.CSRVal(isa.CSRMstatus)&^uint64(1<<3))
+				}),
+		},
+		{
+			ID: "trap-vector-offset", PR: "#4157", Category: CatException,
+			Description:    "exception vectors to mtvec+4 instead of mtvec",
+			DefaultTrigger: 70,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Exception },
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.PC += 4
+					ex.NextPC = m.State.PC
+				}),
+		},
+
+		// --- Memory hierarchy and coherence issues (paper PRs #3964,
+		// #3685, #3621, #4037, #3719, #4442) ---
+		{
+			ID: "load-sign-extension", PR: "#3964", Category: CatMemory,
+			Description:    "signed byte load zero-extends instead of sign-extending",
+			DefaultTrigger: 300,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return ex.Inst.Op == isa.OpLB && !ex.MMIO && int64(ex.Wdata) < 0
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					v := ex.Wdata & 0xFF
+					m.State.GPR[ex.Wdest] = v
+					ex.Wdata, ex.MemData = v, v
+				}),
+		},
+		{
+			ID: "store-byte-drop", PR: "#3685", Category: CatMemory,
+			Description:    "store queue drops the top byte of a word store (StoreQueue condition mismatch)",
+			DefaultTrigger: 400,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return ex.Mem && !ex.IsLoad && !ex.MMIO && ex.MemSize == 4
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					old := m.Mem.Read(ex.MemAddr+3, 1)
+					m.Mem.Write(ex.MemAddr+3, 1, ^old)
+				}),
+		},
+		{
+			ID: "amo-old-value-corrupt", PR: "#3621", Category: CatMemory,
+			Description:    "AMO returns a stale old value (cache inconsistency under specific faults)",
+			DefaultTrigger: 25,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Atomic },
+				func(m *arch.Machine, ex *arch.Exec) {
+					v := ex.AtomicOld ^ 0xFF00
+					m.State.GPR[ex.Wdest] = v
+					ex.AtomicOld, ex.Wdata = v, v
+				}),
+		},
+		{
+			ID: "sc-false-success", PR: "#4037", Category: CatMemory,
+			Description:    "store-conditional reports success after a broken reservation",
+			DefaultTrigger: 12,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return ex.LrSc && ex.Inst.Op == isa.OpSCD && !ex.ScSuccess
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.GPR[ex.Wdest] = 0 // claim success
+					ex.Wdata = 0
+					ex.ScSuccess = true
+				}),
+		},
+		{
+			ID: "misaligned-wakeup-data", PR: "#3719", Category: CatMemory,
+			Description:    "misaligned load/store wakeup forwards a rotated value",
+			DefaultTrigger: 500,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return ex.Mem && ex.IsLoad && !ex.MMIO && ex.MemSize == 8 && ex.WroteInt
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					v := ex.Wdata<<8 | ex.Wdata>>56
+					m.State.GPR[ex.Wdest] = v
+					ex.Wdata, ex.MemData = v, v
+				}),
+		},
+		{
+			ID: "hyp-load-stale", PR: "#4442", Category: CatMemory,
+			Description:    "hypervisor guest load returns stale data after a guest fault",
+			DefaultTrigger: 20,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return ex.Inst.Op == isa.OpHLVD && !ex.Exception
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					v := ex.MemData ^ 1
+					m.State.GPR[ex.Wdest] = v
+					ex.Wdata, ex.MemData = v, v
+				}),
+		},
+
+		// --- Vector and control logic errors (paper PRs #3876, #3965,
+		// #3690, #3643, #3646, #3664, #4361) ---
+		{
+			ID: "vstart-not-reset", PR: "#3876", Category: CatVector,
+			Description:    "vector instruction leaves vstart nonzero (wrong vstart updates)",
+			DefaultTrigger: 15,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Vec && ex.WroteVec },
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.SetCSR(isa.CSRVstart, 1)
+				}),
+		},
+		{
+			ID: "vadd-lane-drop", PR: "#3965", Category: CatVector,
+			Description:    "vector add skips the last lane",
+			DefaultTrigger: 30,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return ex.Inst.Op == isa.OpVADDVV && ex.Vl == 4
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.VReg[ex.Wdest][3] ^= 0xDEAD
+					ex.VData = m.State.VReg[ex.Wdest]
+				}),
+		},
+		{
+			ID: "vsetvli-overshoot", PR: "#3690", Category: CatVector,
+			Description:    "vsetvli grants vl beyond VLMAX",
+			DefaultTrigger: 10,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Inst.Op == isa.OpVSETVLI },
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.SetCSR(isa.CSRVl, 5)
+					m.State.GPR[ex.Wdest] = 5
+					ex.Wdata, ex.Vl = 5, 5
+				}),
+		},
+		{
+			ID: "branch-not-taken", PR: "#3643", Category: CatVector,
+			Description:    "taken conditional branch falls through (control logic error)",
+			DefaultTrigger: 2000,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					return isa.ClassOf(ex.Inst.Op) == isa.ClassBranch && ex.NextPC != ex.PC+4
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.PC = ex.PC + 4
+					ex.NextPC = m.State.PC
+				}),
+		},
+		{
+			ID: "fsgnj-sign-flip", PR: "#3646", Category: CatVector,
+			Description:    "fsgnj.d copies the inverted sign bit",
+			DefaultTrigger: 40,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Inst.Op == isa.OpFSGNJD },
+				func(m *arch.Machine, ex *arch.Exec) {
+					v := ex.Wdata ^ 1<<63
+					m.State.FPR[ex.Wdest] = v
+					ex.Wdata = v
+				}),
+		},
+		{
+			ID: "csr-set-bits-lost", PR: "#3664", Category: CatVector,
+			Description:    "csrrs silently shifts the written CSR value (control logic error)",
+			DefaultTrigger: 60,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool {
+					if ex.Inst.Op != isa.OpCSRRS || ex.Inst.Rs1 == 0 {
+						return false
+					}
+					switch ex.Inst.CSR {
+					case isa.CSRMscratch, isa.CSRMedeleg, isa.CSRMideleg,
+						isa.CSRHedeleg, isa.CSRHideleg:
+						return true
+					}
+					return false
+				},
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.SetCSR(ex.Inst.CSR, m.State.CSRVal(ex.Inst.CSR)>>1)
+				}),
+		},
+		{
+			ID: "vec-exception-tracking", PR: "#4361", Category: CatVector,
+			Description:    "vector store path corrupts vxsat (faulty vector exception tracking)",
+			DefaultTrigger: 25,
+			make: counterHook(
+				func(m *arch.Machine, ex *arch.Exec) bool { return ex.Inst.Op == isa.OpVSE },
+				func(m *arch.Machine, ex *arch.Exec) {
+					m.State.SetCSR(isa.CSRVxsat, 1)
+				}),
+		},
+	}
+}
+
+// ByID returns the named bug, or false.
+func ByID(id string) (*Bug, bool) {
+	for _, b := range Library() {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// ByCategory returns the library grouped per Table 6.
+func ByCategory() map[Category][]*Bug {
+	m := make(map[Category][]*Bug)
+	for _, b := range Library() {
+		m[b.Category] = append(m[b.Category], b)
+	}
+	return m
+}

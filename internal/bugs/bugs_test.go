@@ -1,0 +1,116 @@
+package bugs_test
+
+import (
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// profileFor picks a workload that exercises each bug's trigger condition.
+func profileFor(b *bugs.Bug) workload.Profile {
+	switch b.ID {
+	case "mtval-wrong-guest-fault", "hyp-load-stale":
+		return workload.KVM()
+	case "vstart-not-reset", "vadd-lane-drop", "vsetvli-overshoot", "vec-exception-tracking":
+		return workload.RVVTest()
+	default:
+		return workload.LinuxBoot()
+	}
+}
+
+func TestLibraryInventory(t *testing.T) {
+	lib := bugs.Library()
+	if len(lib) < 15 {
+		t.Fatalf("library has %d bugs, want a substantial set", len(lib))
+	}
+	byCat := bugs.ByCategory()
+	for c := bugs.Category(0); c < bugs.NumCategories; c++ {
+		if len(byCat[c]) < 5 {
+			t.Errorf("category %v has only %d bugs", c, len(byCat[c]))
+		}
+	}
+	seen := map[string]bool{}
+	for _, b := range lib {
+		if seen[b.ID] {
+			t.Errorf("duplicate bug id %q", b.ID)
+		}
+		seen[b.ID] = true
+		if b.PR == "" || b.Description == "" || b.DefaultTrigger <= 0 {
+			t.Errorf("bug %q is underspecified", b.ID)
+		}
+		if _, ok := bugs.ByID(b.ID); !ok {
+			t.Errorf("ByID(%q) failed", b.ID)
+		}
+	}
+}
+
+// TestEveryBugDetected injects each library bug and verifies the full
+// DiffTest-H stack (EBINSD) detects it, and that Replay localizes it to an
+// instruction-level mismatch.
+func TestEveryBugDetected(t *testing.T) {
+	opt, _ := cosim.ParseConfig("EBINSD")
+	for _, b := range bugs.Library() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			prof := profileFor(b)
+			prof.TargetInstrs = 120_000
+			res, err := cosim.Run(cosim.Params{
+				DUT:      dut.XiangShanDefault(),
+				Platform: platform.Palladium(),
+				Opt:      opt,
+				Workload: prof,
+				Seed:     21,
+				Hooks:    b.Hooks(0),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Mismatch == nil {
+				t.Fatalf("bug %s (%s) escaped detection", b.ID, b.PR)
+			}
+			if res.Replay == nil {
+				t.Fatalf("bug %s: no replay report", b.ID)
+			}
+			if res.Replay.Detailed == nil {
+				t.Errorf("bug %s: replay did not localize (fused-level only: %v)",
+					b.ID, res.Mismatch)
+			} else {
+				t.Logf("detected at cycle %d: %v", res.Cycles, res.Replay.Detailed)
+			}
+		})
+	}
+}
+
+// TestBugsAlsoDetectedByBaseline cross-checks a sample of bugs against the
+// unoptimized per-event configuration: optimization must not change the
+// verification verdict.
+func TestBugsAlsoDetectedByBaseline(t *testing.T) {
+	optZ, _ := cosim.ParseConfig("Z")
+	sample := []string{"load-sign-extension", "mepc-misaligned-on-trap", "vadd-lane-drop"}
+	for _, id := range sample {
+		b, ok := bugs.ByID(id)
+		if !ok {
+			t.Fatalf("no bug %q", id)
+		}
+		prof := profileFor(b)
+		prof.TargetInstrs = 120_000
+		res, err := cosim.Run(cosim.Params{
+			DUT:      dut.XiangShanDefault(),
+			Platform: platform.Palladium(),
+			Opt:      optZ,
+			Workload: prof,
+			Seed:     21,
+			Hooks:    b.Hooks(0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mismatch == nil {
+			t.Errorf("bug %s escaped the baseline checker", id)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package checker_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/snapshot"
+)
+
+// harness builds a checker over a tiny program:
+//
+//	addi x1, x0, 5
+//	sd   x1, 0(x2)     (x2 preset to a data address)
+//	ld   x3, 0(x2)
+func harness(t *testing.T) *checker.Checker {
+	t.Helper()
+	img := mem.New()
+	prog := []isa.Inst{
+		{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 5},
+		{Op: isa.OpSD, Rs1: 2, Rs2: 1, Imm: 0},
+		{Op: isa.OpLD, Rd: 3, Rs1: 2, Imm: 0},
+	}
+	addr := mem.RAMBase
+	for _, in := range prog {
+		img.Write(addr, 4, uint64(isa.MustEncode(in)))
+		addr += 4
+	}
+	chk := checker.New(img, []uint64{mem.RAMBase}, 1)
+	chk.Cores[0].Ref.M.State.GPR[2] = mem.RAMBase + 0x1000
+	return chk
+}
+
+func commitRec(seq uint64, pc uint64, wdest uint8, wdata uint64) event.Record {
+	return event.Record{Seq: seq, Core: 0, Ev: &event.InstrCommit{
+		PC: pc, Instr: instrAt(pc), Flags: event.CommitRfWen, Wdest: wdest, Wdata: wdata,
+	}}
+}
+
+// instrAt recomputes the encodings used by harness (keeps records honest).
+func instrAt(pc uint64) uint32 {
+	prog := []isa.Inst{
+		{Op: isa.OpADDI, Rd: 1, Rs1: 0, Imm: 5},
+		{Op: isa.OpSD, Rs1: 2, Rs2: 1, Imm: 0},
+		{Op: isa.OpLD, Rd: 3, Rs1: 2, Imm: 0},
+	}
+	return isa.MustEncode(prog[(pc-mem.RAMBase)/4])
+}
+
+func TestCommitMatches(t *testing.T) {
+	chk := harness(t)
+	if m := chk.Process(commitRec(1, mem.RAMBase, 1, 5)); m != nil {
+		t.Fatalf("clean commit flagged: %v", m)
+	}
+}
+
+func TestCommitWrongWdata(t *testing.T) {
+	chk := harness(t)
+	m := chk.Process(commitRec(1, mem.RAMBase, 1, 6))
+	if m == nil || !strings.Contains(m.Detail, "writeback") {
+		t.Fatalf("wrong wdata not flagged: %v", m)
+	}
+}
+
+func TestCommitWrongPC(t *testing.T) {
+	chk := harness(t)
+	m := chk.Process(commitRec(1, mem.RAMBase+8, 3, 0))
+	if m == nil || !strings.Contains(m.Detail, "pc") {
+		t.Fatalf("wrong pc not flagged: %v", m)
+	}
+}
+
+func TestStoreEventChecked(t *testing.T) {
+	chk := harness(t)
+	chk.Process(commitRec(1, mem.RAMBase, 1, 5))
+	// Store commit (no register write).
+	st := &event.InstrCommit{PC: mem.RAMBase + 4, Instr: instrAt(mem.RAMBase + 4)}
+	if m := chk.Process(event.Record{Seq: 2, Core: 0, Ev: st}); m != nil {
+		t.Fatalf("store commit flagged: %v", m)
+	}
+	good := &event.Store{Addr: mem.RAMBase + 0x1000, VAddr: mem.RAMBase + 0x1000, Data: 5, Mask: 8}
+	if m := chk.Process(event.Record{Seq: 2, Core: 0, Ev: good}); m != nil {
+		t.Fatalf("good store flagged: %v", m)
+	}
+	bad := &event.Store{Addr: mem.RAMBase + 0x1000, Data: 7, Mask: 8}
+	if m := chk.Process(event.Record{Seq: 2, Core: 0, Ev: bad}); m == nil {
+		t.Fatal("bad store data not flagged")
+	}
+}
+
+func TestLoadEventChecked(t *testing.T) {
+	chk := harness(t)
+	chk.Process(commitRec(1, mem.RAMBase, 1, 5))
+	chk.Process(event.Record{Seq: 2, Core: 0,
+		Ev: &event.InstrCommit{PC: mem.RAMBase + 4, Instr: instrAt(mem.RAMBase + 4)}})
+	chk.Process(commitRec(3, mem.RAMBase+8, 3, 5))
+	bad := &event.Load{PAddr: mem.RAMBase + 0x1000, Data: 99, Mask: ^uint64(0)}
+	if m := chk.Process(event.Record{Seq: 3, Core: 0, Ev: bad}); m == nil {
+		t.Fatal("bad load data not flagged")
+	}
+}
+
+func TestSkipCommitSynchronizes(t *testing.T) {
+	chk := harness(t)
+	skip := &event.InstrCommit{
+		PC: mem.RAMBase, Flags: event.CommitSkip | event.CommitRfWen, Wdest: 9, Wdata: 0xFEED,
+	}
+	if m := chk.Process(event.Record{Seq: 1, Core: 0, Ev: skip}); m != nil {
+		t.Fatalf("skip flagged: %v", m)
+	}
+	cc := chk.Cores[0]
+	if cc.Ref.M.State.GPR[9] != 0xFEED {
+		t.Errorf("x9 = %#x after skip", cc.Ref.M.State.GPR[9])
+	}
+	if cc.InstrRet() != 1 {
+		t.Errorf("instret = %d", cc.InstrRet())
+	}
+}
+
+func TestInterruptWrongPC(t *testing.T) {
+	chk := harness(t)
+	m := chk.Process(event.Record{Seq: 0, Core: 0,
+		Ev: &event.Interrupt{Cause: isa.IntTimerM, PC: 0xBAD}})
+	if m == nil || !strings.Contains(m.Detail, "interrupt") {
+		t.Fatalf("interrupt at wrong pc not flagged: %v", m)
+	}
+}
+
+func TestSnapshotCompare(t *testing.T) {
+	chk := harness(t)
+	chk.Process(commitRec(1, mem.RAMBase, 1, 5))
+	cc := chk.Cores[0]
+
+	good := snapshot.IntRegState(cc.Ref.M)
+	if m := chk.Process(event.Record{Seq: 1, Core: 0, Ev: good}); m != nil {
+		t.Fatalf("matching snapshot flagged: %v", m)
+	}
+	bad := snapshot.IntRegState(cc.Ref.M)
+	bad.GPR[4] ^= 1
+	m := chk.Process(event.Record{Seq: 1, Core: 0, Ev: bad})
+	if m == nil || m.Kind != event.KindArchIntRegState {
+		t.Fatalf("diverged snapshot not flagged: %v", m)
+	}
+}
+
+func TestRefillChecksMemory(t *testing.T) {
+	chk := harness(t)
+	cc := chk.Cores[0]
+	line := mem.RAMBase + 0x1000&^uint64(63)
+	var rf event.Refill
+	rf.Addr = line
+	for i := range rf.Data {
+		rf.Data[i] = cc.Ref.M.Mem.Read(line+uint64(i)*8, 8)
+	}
+	if m := chk.Process(event.Record{Core: 0, Ev: &rf}); m != nil {
+		t.Fatalf("matching refill flagged: %v", m)
+	}
+	rf.Data[3] ^= 0x40
+	if m := chk.Process(event.Record{Core: 0, Ev: &rf}); m == nil {
+		t.Fatal("corrupt refill not flagged")
+	}
+}
+
+func TestTLBIdentityCheck(t *testing.T) {
+	chk := harness(t)
+	ok := &event.L1TLB{VPN: 0x80001, PPN: 0x80001, Perm: 0xF, Level: 2}
+	if m := chk.Process(event.Record{Core: 0, Ev: ok}); m != nil {
+		t.Fatalf("identity TLB fill flagged: %v", m)
+	}
+	bad := &event.L1TLB{VPN: 0x80001, PPN: 0x90001}
+	if m := chk.Process(event.Record{Core: 0, Ev: bad}); m == nil {
+		t.Fatal("wrong PPN not flagged")
+	}
+}
+
+func TestTrapRecorded(t *testing.T) {
+	chk := harness(t)
+	chk.Process(event.Record{Core: 0, Ev: &event.Trap{Code: 0, PC: mem.RAMBase}})
+	fin, code := chk.Finished()
+	if !fin || code != 0 {
+		t.Errorf("trap not recorded: %v %d", fin, code)
+	}
+}
+
+func TestUnknownCoreRejected(t *testing.T) {
+	chk := harness(t)
+	if m := chk.Process(event.Record{Core: 5, Ev: &event.Trap{}}); m == nil {
+		t.Error("record for unknown core accepted")
+	}
+}
+
+func TestMismatchErrorString(t *testing.T) {
+	m := &checker.Mismatch{Core: 1, Seq: 42, Kind: event.KindLoad, PC: 0x80000000, Detail: "boom"}
+	s := m.Error()
+	if !strings.Contains(s, "seq 42") || !strings.Contains(s, "Load") {
+		t.Errorf("error string: %s", s)
+	}
+	m.Fused = true
+	if !strings.Contains(m.Error(), "fused") {
+		t.Error("fused flag not rendered")
+	}
+}

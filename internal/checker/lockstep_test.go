@@ -1,0 +1,132 @@
+package checker_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/checker"
+	"repro/internal/dut"
+	"repro/internal/event"
+	"repro/internal/workload"
+)
+
+// runLockstep drives a DUT cycle by cycle, feeding every verification event
+// straight into the checker (the baseline, per-event co-simulation path),
+// and returns the first mismatch, trap code, and cycle count.
+func runLockstep(t *testing.T, cfg dut.Config, prof workload.Profile, hooks arch.Hooks, maxCycles uint64) (*checker.Mismatch, uint64, uint64) {
+	t.Helper()
+	prog := workload.Generate(prof, cfg.Cores, 99)
+	d := dut.New(cfg, prog.Image, prog.Entries, hooks)
+	chk := checker.New(prog.Image, prog.Entries, cfg.Cores)
+
+	for cycle := uint64(0); cycle < maxCycles; cycle++ {
+		recs, done := d.StepCycle()
+		for _, rec := range recs {
+			if m := chk.Process(rec); m != nil {
+				return m, 0, d.CycleCount
+			}
+		}
+		if done {
+			fin, code := chk.Finished()
+			if !fin {
+				t.Fatalf("DUT finished but checker saw no trap")
+			}
+			return nil, code, d.CycleCount
+		}
+	}
+	t.Fatalf("workload did not finish in %d cycles", maxCycles)
+	return nil, 0, 0
+}
+
+func scaled(p workload.Profile, instrs uint64) workload.Profile {
+	p.TargetInstrs = instrs
+	return p
+}
+
+func TestLockstepAllDUTConfigs(t *testing.T) {
+	for _, cfg := range dut.Configs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			m, code, cycles := runLockstep(t, cfg, scaled(workload.LinuxBoot(), 30_000), arch.Hooks{}, 3_000_000)
+			if m != nil {
+				t.Fatalf("spurious mismatch: %v", m)
+			}
+			if code != 0 {
+				t.Fatalf("bad trap code %d", code)
+			}
+			if cycles == 0 {
+				t.Fatal("no cycles simulated")
+			}
+		})
+	}
+}
+
+func TestLockstepAllProfiles(t *testing.T) {
+	cfg := dut.XiangShanDefault()
+	for _, prof := range workload.Profiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			m, code, _ := runLockstep(t, cfg, scaled(prof, 25_000), arch.Hooks{}, 3_000_000)
+			if m != nil {
+				t.Fatalf("spurious mismatch: %v", m)
+			}
+			if code != 0 {
+				t.Fatalf("bad trap code %d", code)
+			}
+		})
+	}
+}
+
+// TestLockstepDetectsInjectedBug verifies the checker actually catches a
+// divergence: a hook that corrupts a load result after N occurrences.
+func TestLockstepDetectsInjectedBug(t *testing.T) {
+	count := 0
+	hooks := arch.Hooks{AfterExec: func(m *arch.Machine, ex *arch.Exec) {
+		if ex.IsLoad && !ex.MMIO && ex.WroteInt {
+			count++
+			if count == 500 {
+				// Corrupt the destination register: a classic load-path bug.
+				m.State.GPR[ex.Wdest] ^= 0x10
+				ex.Wdata ^= 0x10
+				ex.MemData ^= 0x10
+			}
+		}
+	}}
+	m, _, _ := runLockstep(t, dut.XiangShanDefault(), scaled(workload.LinuxBoot(), 50_000), hooks, 3_000_000)
+	if m == nil {
+		t.Fatal("injected bug was not detected")
+	}
+	if m.Kind != event.KindInstrCommit && m.Kind != event.KindLoad && m.Kind != event.KindArchIntRegState {
+		t.Errorf("bug detected via unexpected event kind %v", m.Kind)
+	}
+}
+
+// TestLockstepEventTraffic sanity-checks the monitor's per-cycle event
+// volume against the paper's operating point (~15 events, ~1.2 KB per cycle
+// on XiangShan default).
+func TestLockstepEventTraffic(t *testing.T) {
+	cfg := dut.XiangShanDefault()
+	prog := workload.Generate(scaled(workload.LinuxBoot(), 30_000), 1, 5)
+	d := dut.New(cfg, prog.Image, prog.Entries, arch.Hooks{})
+	for {
+		_, done := d.StepCycle()
+		if done {
+			break
+		}
+	}
+	var events uint64
+	for _, n := range d.EventCount {
+		events += n
+	}
+	perCycle := float64(events) / float64(d.CycleCount)
+	bytesPerCycle := float64(d.EventBytes) / float64(d.CycleCount)
+	if perCycle < 4 || perCycle > 40 {
+		t.Errorf("events/cycle = %.1f, want roughly 15", perCycle)
+	}
+	if bytesPerCycle < 300 || bytesPerCycle > 4000 {
+		t.Errorf("bytes/cycle = %.0f, want roughly 1200", bytesPerCycle)
+	}
+	if d.EventCount[event.KindInstrCommit] == 0 || d.EventCount[event.KindArchIntRegState] == 0 {
+		t.Error("core event kinds never emitted")
+	}
+}

@@ -1,0 +1,135 @@
+// Package comm implements the hardware-software communication unit: a
+// byte-accurate transport whose simulated time follows the platform's LogGP
+// cost model (paper §3, §4.5).
+//
+// In blocking mode (the traditional step-and-compare strategy) the hardware
+// clock stalls until the software finishes processing each transfer. In
+// non-blocking mode the DUT speculatively runs ahead while transfers stream
+// through a bounded queue with backpressure; software latency is hidden
+// unless the queue fills.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Link is the communication channel between the hardware side (DUT +
+// acceleration unit) and the software side (unpacker + checker).
+type Link struct {
+	P           platform.Platform
+	NonBlocking bool
+
+	// CycleTime is the hardware time consumed per DUT cycle (1/F plus the
+	// platform's per-cycle streaming cost).
+	CycleTime float64
+
+	// Virtual timelines (seconds).
+	HWTime   float64 // hardware (DUT) clock
+	LinkFree float64 // when the physical link is next idle
+	SWFree   float64 // when the software side is next idle
+
+	// inflight holds software completion times of outstanding transfers.
+	inflight []float64
+
+	// Counters.
+	Invokes   uint64
+	Bytes     uint64
+	SWTime    float64 // accumulated software processing time
+	StallTime float64 // hardware time lost to backpressure
+}
+
+// NewLink builds a link for a platform and DUT-only frequency.
+func NewLink(p platform.Platform, dutHz float64, nonBlocking bool) *Link {
+	return &Link{
+		P:           p,
+		NonBlocking: nonBlocking,
+		CycleTime:   1.0/dutHz + p.PerCycleHW,
+	}
+}
+
+// AdvanceCycle accounts one DUT cycle of hardware time.
+func (l *Link) AdvanceCycle() { l.HWTime += l.CycleTime }
+
+// SWCost returns the software processing cost for a transfer carrying the
+// given number of verification events, payload bytes, and covered
+// instructions (reference-model execution).
+func (l *Link) SWCost(events, bytes, instrs int) float64 {
+	return l.P.SWPerEvent*float64(events) +
+		l.P.SWPerByte*float64(bytes) +
+		l.P.SWPerInstr*float64(instrs)
+}
+
+// Send transmits one transfer of the given size. events/instrs determine the
+// software processing cost attributed to the transfer.
+func (l *Link) Send(bytes, events, instrs int) {
+	l.Invokes++
+	l.Bytes += uint64(bytes)
+	swCost := l.SWCost(events, bytes, instrs)
+	l.SWTime += swCost
+	trans := float64(bytes) / l.P.BandwidthBps
+
+	if !l.NonBlocking {
+		// Step-and-compare: the emulator pauses its clock until the
+		// software finishes (paper §3.1).
+		l.HWTime += l.P.TSyncBlocking + trans + swCost
+		l.LinkFree, l.SWFree = l.HWTime, l.HWTime
+		return
+	}
+
+	// Non-blocking: enqueue and continue. Backpressure when the queue of
+	// unprocessed transfers is full (paper §4.5).
+	l.HWTime += l.P.HWPostCost
+	depth := l.P.QueueDepth
+	if depth <= 0 {
+		depth = 1
+	}
+	if len(l.inflight) >= depth {
+		head := l.inflight[0]
+		l.inflight = l.inflight[1:]
+		if head > l.HWTime {
+			l.StallTime += head - l.HWTime
+			l.HWTime = head
+		}
+	}
+	start := l.HWTime
+	if l.LinkFree > start {
+		start = l.LinkFree
+	}
+	l.LinkFree = start + l.P.TSyncNonBlock + trans
+	done := l.LinkFree
+	if l.SWFree > done {
+		done = l.SWFree
+	}
+	l.SWFree = done + swCost
+	l.inflight = append(l.inflight, l.SWFree)
+}
+
+// Drain completes all outstanding transfers and returns the total elapsed
+// co-simulation time.
+func (l *Link) Drain() float64 {
+	l.inflight = l.inflight[:0]
+	if l.SWFree > l.HWTime {
+		return l.SWFree
+	}
+	return l.HWTime
+}
+
+// Elapsed returns the co-simulation time so far without draining.
+func (l *Link) Elapsed() float64 {
+	if l.SWFree > l.HWTime {
+		return l.SWFree
+	}
+	return l.HWTime
+}
+
+// String summarizes link activity.
+func (l *Link) String() string {
+	mode := "blocking"
+	if l.NonBlocking {
+		mode = "non-blocking"
+	}
+	return fmt.Sprintf("link[%s %s]: %d invokes, %d bytes, sw %.3gs, stall %.3gs",
+		l.P.Name, mode, l.Invokes, l.Bytes, l.SWTime, l.StallTime)
+}

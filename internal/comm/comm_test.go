@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func testPlatform() platform.Platform {
+	return platform.Platform{
+		Name:          "test",
+		TSyncBlocking: 10e-6,
+		TSyncNonBlock: 1e-6,
+		HWPostCost:    0.1e-6,
+		BandwidthBps:  1e6, // 1 B/µs: easy arithmetic
+		SWPerEvent:    1e-6,
+		QueueDepth:    2,
+	}
+}
+
+func TestBlockingAddsAllPhases(t *testing.T) {
+	l := NewLink(testPlatform(), 1e6, false) // 1 µs per cycle
+	l.AdvanceCycle()
+	l.Send(100, 1, 0) // sync 10µs + trans 100µs + sw 1µs
+	want := 1e-6 + 10e-6 + 100e-6 + 1e-6
+	if got := l.Elapsed(); !close(got, want) {
+		t.Errorf("blocking elapsed = %g, want %g", got, want)
+	}
+	if l.Invokes != 1 || l.Bytes != 100 {
+		t.Errorf("counters: %d invokes %d bytes", l.Invokes, l.Bytes)
+	}
+}
+
+func TestNonBlockingHidesSoftware(t *testing.T) {
+	l := NewLink(testPlatform(), 1e6, true)
+	l.Send(10, 1, 0) // sync 1µs + trans 10µs + sw 1µs, all off the hw clock
+	// Hardware pays only the post cost and keeps running.
+	if !close(l.HWTime, 0.1e-6) {
+		t.Errorf("hw time = %g, want just the post cost", l.HWTime)
+	}
+	for i := 0; i < 50; i++ {
+		l.AdvanceCycle() // the DUT speculatively runs ahead (paper §4.5)
+	}
+	// Transfer and software processing finished long ago: total is pure
+	// hardware time.
+	wantHW := 0.1e-6 + 50e-6
+	if total := l.Drain(); !close(total, wantHW) {
+		t.Errorf("total = %g, want %g (software latency hidden)", total, wantHW)
+	}
+}
+
+func TestNonBlockingBackpressure(t *testing.T) {
+	p := testPlatform()
+	p.SWPerEvent = 100e-6 // slow software
+	l := NewLink(p, 1e9, true)
+	for i := 0; i < 10; i++ {
+		l.Send(1, 1, 0)
+	}
+	// Queue depth 2: the hardware must have stalled waiting for software.
+	if l.StallTime == 0 {
+		t.Error("no backpressure stall recorded")
+	}
+	if total := l.Drain(); total < 10*100e-6 {
+		t.Errorf("total %g shorter than software's serial work", total)
+	}
+}
+
+func TestSWCost(t *testing.T) {
+	p := testPlatform()
+	p.SWPerByte = 2e-9
+	p.SWPerInstr = 5e-7
+	l := NewLink(p, 1e6, false)
+	got := l.SWCost(3, 100, 4)
+	want := 3*1e-6 + 100*2e-9 + 4*5e-7
+	if !close(got, want) {
+		t.Errorf("swcost = %g, want %g", got, want)
+	}
+}
+
+func TestDrainIdempotent(t *testing.T) {
+	l := NewLink(testPlatform(), 1e6, true)
+	l.Send(10, 1, 0)
+	a := l.Drain()
+	if b := l.Drain(); b != a {
+		t.Errorf("drain changed: %g vs %g", a, b)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-12
+}

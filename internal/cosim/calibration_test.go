@@ -1,0 +1,103 @@
+package cosim
+
+import (
+	"testing"
+
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Calibration-band regression tests: the platform constants are tuned so the
+// measured operating points land near the paper's published numbers
+// (EXPERIMENTS.md). These tests pin each anchor inside a band so future
+// changes to the DUT timing model, event cadences, or transport cannot
+// silently drift the reproduction away from the paper.
+
+type band struct {
+	cfg      string
+	minHz    float64
+	maxHz    float64
+	paperHz  float64
+	paperRef string
+}
+
+func checkBands(t *testing.T, d dut.Config, p platform.Platform, bands []band) {
+	t.Helper()
+	wl := scaled(workload.LinuxBoot(), 40_000)
+	for _, bd := range bands {
+		opt, _ := ParseConfig(bd.cfg)
+		res := run(t, Params{DUT: d, Platform: p, Opt: opt, Workload: wl, Seed: 7})
+		if res.Mismatch != nil {
+			t.Fatalf("%s: mismatch %v", bd.cfg, res.Mismatch)
+		}
+		if res.SpeedHz < bd.minHz || res.SpeedHz > bd.maxHz {
+			t.Errorf("%s/%s/%s = %.1f KHz, outside calibration band [%.1f, %.1f] KHz (paper: %.1f KHz, %s)",
+				d.Name, p.Name, bd.cfg, res.SpeedHz/1e3, bd.minHz/1e3, bd.maxHz/1e3,
+				bd.paperHz/1e3, bd.paperRef)
+		}
+	}
+}
+
+func TestCalibrationXiangShanPalladium(t *testing.T) {
+	checkBands(t, dut.XiangShanDefault(), platform.Palladium(), []band{
+		{"Z", 4e3, 10e3, 6e3, "Table 5"},
+		{"EB", 20e3, 45e3, 24e3, "Table 5"},
+		{"EBIN", 50e3, 100e3, 71e3, "Table 5"},
+		{"EBINSD", 430e3, 480e3, 478e3, "Table 5"},
+	})
+}
+
+func TestCalibrationNutShellPalladium(t *testing.T) {
+	checkBands(t, dut.NutShell(), platform.Palladium(), []band{
+		{"Z", 10e3, 30e3, 14e3, "Table 5"},
+		{"EBINSD", 900e3, 1035e3, 1030e3, "Table 5"},
+	})
+}
+
+func TestCalibrationXiangShanFPGA(t *testing.T) {
+	checkBands(t, dut.XiangShanDefault(), platform.FPGA(), []band{
+		{"Z", 60e3, 160e3, 100e3, "Table 5"},
+		{"EB", 0.8e6, 1.6e6, 1.3e6, "Table 5"},
+		{"EBIN", 1.8e6, 3.5e6, 2.2e6, "Table 5"},
+		{"EBINSD", 6.5e6, 10e6, 7.8e6, "Table 5"},
+	})
+}
+
+// TestCalibrationOverheadShares pins the paper's §6.3/Table 7 overhead
+// claims: >98% baseline, <1% optimized on Palladium, ~84% residual on FPGA.
+func TestCalibrationOverheadShares(t *testing.T) {
+	wl := scaled(workload.LinuxBoot(), 40_000)
+	optZ, _ := ParseConfig("Z")
+	optSD, _ := ParseConfig("EBINSD")
+
+	base := run(t, Params{DUT: dut.XiangShanDefault(), Platform: platform.Palladium(),
+		Opt: optZ, Workload: wl, Seed: 7})
+	if base.CommOverheadShare < 0.98 {
+		t.Errorf("Palladium baseline overhead %.3f, paper >0.98", base.CommOverheadShare)
+	}
+	full := run(t, Params{DUT: dut.XiangShanDefault(), Platform: platform.Palladium(),
+		Opt: optSD, Workload: wl, Seed: 7})
+	if full.CommOverheadShare > 0.01 {
+		t.Errorf("Palladium optimized overhead %.4f, paper ~0.004", full.CommOverheadShare)
+	}
+	fpga := run(t, Params{DUT: dut.XiangShanDefault(), Platform: platform.FPGA(),
+		Opt: optSD, Workload: wl, Seed: 7})
+	if fpga.CommOverheadShare < 0.7 || fpga.CommOverheadShare > 0.92 {
+		t.Errorf("FPGA optimized overhead %.3f, paper ~0.84", fpga.CommOverheadShare)
+	}
+}
+
+// TestCalibrationMonitorTraffic pins the Table 4 / §2.2 operating point:
+// ~1.2 KB and on the order of ten events per cycle on XiangShan-default.
+func TestCalibrationMonitorTraffic(t *testing.T) {
+	optZ, _ := ParseConfig("Z")
+	res := run(t, Params{DUT: dut.XiangShanDefault(), Platform: platform.Palladium(),
+		Opt: optZ, Workload: scaled(workload.LinuxBoot(), 40_000), Seed: 7})
+	if res.BytesPerCycle < 700 || res.BytesPerCycle > 1700 {
+		t.Errorf("bytes/cycle = %.0f, paper ~1200", res.BytesPerCycle)
+	}
+	if res.EventsPerCycle < 5 || res.EventsPerCycle > 20 {
+		t.Errorf("events/cycle = %.1f, paper ~15", res.EventsPerCycle)
+	}
+}

@@ -1,0 +1,495 @@
+// Package cosim orchestrates hardware-accelerated co-simulation: it wires
+// the DUT monitor through the acceleration unit (Squash fusion, Batch
+// packing), the non-blocking communication unit, the software unpacker and
+// reorderer, the ISA checker, and the Replay debugging unit — the complete
+// DiffTest-H framework of paper Figure 3/12.
+//
+// The four optimization levels match the paper's artifact configurations:
+//
+//	Z       baseline: one blocking transfer per verification event
+//	EB      +Batch:   tight packing into fixed-size packets
+//	EBIN    +NonBlock: hardware-software parallelism
+//	EBINSD  +Squash:  order-decoupled fusion and differencing
+package cosim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/batch"
+	"repro/internal/checker"
+	"repro/internal/comm"
+	"repro/internal/dut"
+	"repro/internal/event"
+	"repro/internal/loggp"
+	"repro/internal/platform"
+	"repro/internal/replay"
+	"repro/internal/squash"
+	"repro/internal/trace"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// Options selects the communication optimizations.
+type Options struct {
+	Batch       bool
+	NonBlocking bool
+	Squash      bool
+
+	// Ablations.
+	CoupleOrder bool // order-coupled fusion (existing schemes)
+	FixedOffset bool // fixed-offset packing instead of tight packing
+	MaxFuse     int  // fusion window size (0 = default 64)
+}
+
+// Named configurations per the paper's artifact appendix (§A.5.2).
+var namedConfigs = map[string]Options{
+	"Z":      {},
+	"EB":     {Batch: true},
+	"EBIN":   {Batch: true, NonBlocking: true},
+	"EBINSD": {Batch: true, NonBlocking: true, Squash: true},
+}
+
+// ParseConfig resolves a DIFF_CONFIG name (Z, EB, EBIN, EBINSD).
+func ParseConfig(name string) (Options, error) {
+	o, ok := namedConfigs[strings.ToUpper(name)]
+	if !ok {
+		return Options{}, fmt.Errorf("cosim: unknown config %q (want Z, EB, EBIN, or EBINSD)", name)
+	}
+	return o, nil
+}
+
+// Name returns the artifact-style configuration name.
+func (o Options) Name() string {
+	switch {
+	case o.Squash:
+		return "EBINSD"
+	case o.NonBlocking:
+		return "EBIN"
+	case o.Batch:
+		return "EB"
+	default:
+		return "Z"
+	}
+}
+
+// Params describes one co-simulation run.
+type Params struct {
+	DUT      dut.Config
+	Platform platform.Platform
+	Opt      Options
+	Workload workload.Profile
+
+	// Seed controls workload generation (DUT timing has its own seed).
+	Seed int64
+	// MaxCycles aborts runaway simulations (0 = 100M).
+	MaxCycles uint64
+	// Hooks injects bugs into the DUT.
+	Hooks arch.Hooks
+	// ReplayBufCap sizes the hardware replay buffer (0 = 1<<16 records).
+	ReplayBufCap int
+	// DisableReplay turns off replay-on-mismatch (for ablation).
+	DisableReplay bool
+	// Trace, when set, receives every monitor cycle (tuning toolkit §5:
+	// dump once, re-drive the verification logic without the DUT).
+	Trace *trace.Writer
+}
+
+// Result reports a run's outcome and performance accounting.
+type Result struct {
+	Config   string
+	DUTName  string
+	Platform string
+
+	Finished bool
+	TrapCode uint64
+	Mismatch *checker.Mismatch
+	Replay   *replay.Report
+
+	Cycles uint64
+	Instrs uint64
+
+	// Simulated-time accounting.
+	SimSeconds float64 // total co-simulation time
+	SpeedHz    float64 // Cycles / SimSeconds
+	DUTOnlyHz  float64 // the platform's DUT-only speed for this design
+
+	// Communication accounting.
+	Invokes           uint64
+	WireBytes         uint64
+	SWSeconds         float64
+	Breakdown         loggp.Breakdown
+	CommOverheadShare float64 // fraction of SimSeconds beyond pure DUT time
+
+	// Monitor traffic (pre-optimization, Table 4).
+	MonitorEvents   uint64
+	MonitorBytes    uint64
+	EventsPerCycle  float64
+	BytesPerCycle   float64
+	BytesPerInstr   float64
+	PacketUtilation float64
+
+	// Squash counters (§5 tuning toolkit).
+	Fusion squash.Stats
+}
+
+// Speedup returns this result's speed relative to a baseline.
+func (r *Result) Speedup(base *Result) float64 {
+	if base == nil || base.SpeedHz == 0 {
+		return 0
+	}
+	return r.SpeedHz / base.SpeedHz
+}
+
+// Run executes one co-simulation end to end.
+func Run(p Params) (*Result, error) {
+	if p.MaxCycles == 0 {
+		p.MaxCycles = 100_000_000
+	}
+	opt := p.Opt
+	if opt.FixedOffset && p.DUT.Cores > 1 {
+		return nil, fmt.Errorf("cosim: fixed-offset packing supports a single core")
+	}
+
+	prog := workload.Generate(p.Workload, p.DUT.Cores, p.Seed)
+	d := dut.New(p.DUT, prog.Image, prog.Entries, p.Hooks)
+	chk := checker.New(prog.Image, prog.Entries, p.DUT.Cores)
+	enabled := p.DUT.EnabledKinds()
+
+	dutHz := p.Platform.DUTOnlyHz(p.DUT.GatesM)
+	link := comm.NewLink(p.Platform, dutHz, opt.NonBlocking)
+
+	res := &Result{
+		Config:   opt.Name(),
+		DUTName:  p.DUT.Name,
+		Platform: p.Platform.Name,
+	}
+
+	r := &runner{p: p, opt: opt, d: d, chk: chk, link: link, res: res, enabled: enabled}
+	r.setup()
+	if err := r.loop(); err != nil {
+		return nil, err
+	}
+	r.finish(dutHz)
+	return res, nil
+}
+
+type runner struct {
+	p       Params
+	opt     Options
+	d       *dut.DUT
+	chk     *checker.Checker
+	link    *comm.Link
+	res     *Result
+	enabled [event.NumKinds]bool
+
+	fusers []*squash.Fuser
+	desq   *squash.Desquasher
+	rbuf   *replay.Buffer
+	rctls  []*replay.Controller
+
+	packer   *batch.Packer
+	unpacker *batch.Unpacker
+	fixed    *batch.FixedPacker
+	fixedRx  []byte
+
+	stop bool
+}
+
+func (r *runner) setup() {
+	if r.opt.Squash {
+		scfg := squash.DefaultConfig()
+		scfg.CoupleOrder = r.opt.CoupleOrder
+		if r.opt.MaxFuse > 0 {
+			scfg.MaxFuse = r.opt.MaxFuse
+		}
+		for i := 0; i < r.p.DUT.Cores; i++ {
+			r.fusers = append(r.fusers, squash.NewFuser(scfg, uint8(i)))
+		}
+		r.rbuf = replay.NewBuffer(r.p.ReplayBufCap)
+		r.desq = squash.NewDesquasher(r.chk, r.enabled)
+		for _, cc := range r.chk.Cores {
+			r.rctls = append(r.rctls, replay.NewController(cc, r.rbuf))
+		}
+		r.desq.OnWindow = func(core uint8, fc wire.FusedCommit) {
+			r.rctls[core].Checkpoint(fc.StartToken)
+		}
+	}
+	if r.opt.Batch {
+		if r.opt.FixedOffset {
+			layout := batch.NewFixedLayout(r.p.DUT.EventKinds, maxInt(1, r.p.DUT.BurstMax))
+			r.fixed = batch.NewFixedPacker(layout, r.p.Platform.PacketBytes)
+		} else {
+			r.packer = batch.NewPacker(r.p.Platform.PacketBytes)
+			r.unpacker = &batch.Unpacker{}
+		}
+	}
+}
+
+func (r *runner) loop() error {
+	for cycle := uint64(0); cycle < r.p.MaxCycles && !r.stop; cycle++ {
+		recs, done := r.d.StepCycle()
+		r.link.AdvanceCycle()
+		if r.p.Trace != nil {
+			if err := r.p.Trace.WriteCycle(r.d.CycleCount, recs); err != nil {
+				return err
+			}
+		}
+
+		items, err := r.hardwareSide(recs)
+		if err != nil {
+			return err
+		}
+		if err := r.transport(items, false); err != nil {
+			return err
+		}
+		if done {
+			if err := r.flushAll(); err != nil {
+				return err
+			}
+			r.res.Finished = true
+			_, r.res.TrapCode = r.chk.Finished()
+			return nil
+		}
+	}
+	if !r.stop {
+		return fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
+	}
+	return nil
+}
+
+// hardwareSide applies the acceleration unit: Squash fusion or plain item
+// conversion, with replay buffering of the original unfused events.
+func (r *runner) hardwareSide(recs []event.Record) ([]wire.Item, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if !r.opt.Squash {
+		return wire.FromRecords(recs), nil
+	}
+	startTok := r.rbuf.Add(recs)
+	// Split per core, preserving order and token alignment.
+	var items []wire.Item
+	for core := 0; core < r.p.DUT.Cores; core++ {
+		var coreRecs []event.Record
+		var toks []uint64
+		for i, rec := range recs {
+			if int(rec.Core) == core {
+				coreRecs = append(coreRecs, rec)
+				toks = append(toks, startTok+uint64(i))
+			}
+		}
+		if len(coreRecs) > 0 {
+			items = append(items, r.fusers[core].Cycle(coreRecs, toks)...)
+		}
+	}
+	return items, nil
+}
+
+// transport moves items across the link per the configured mode and hands
+// them to the software side.
+func (r *runner) transport(items []wire.Item, flush bool) error {
+	switch {
+	case r.opt.Batch && r.opt.FixedOffset:
+		pkts, err := r.fixed.AddCycle(items)
+		if err != nil {
+			return err
+		}
+		if flush {
+			pkts = append(pkts, r.fixed.Flush()...)
+		}
+		for _, pkt := range pkts {
+			r.link.Send(len(pkt.Buf), pkt.Events, pkt.Instrs)
+			if err := r.fixedReceive(pkt); err != nil {
+				return err
+			}
+		}
+	case r.opt.Batch:
+		pkts := r.packer.AddCycle(items)
+		if flush {
+			pkts = append(pkts, r.packer.Flush()...)
+		}
+		for _, pkt := range pkts {
+			r.link.Send(len(pkt.Buf), pkt.Events, pkt.Instrs)
+			rx, err := r.unpacker.AddPacket(pkt.Buf)
+			if err != nil {
+				return err
+			}
+			if err := r.software(rx); err != nil {
+				return err
+			}
+		}
+		if flush {
+			if err := r.software(r.unpacker.Flush()); err != nil {
+				return err
+			}
+		}
+	default:
+		// Per-event transfers (one DPI-C call per event, paper §2.2).
+		for _, it := range items {
+			r.link.Send(it.BaselineWireSize(), 1, it.InstrCount())
+			if err := r.software([]wire.Item{it}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *runner) fixedReceive(pkt batch.Packet) error {
+	r.fixedRx = append(r.fixedRx, pkt.Buf[:pkt.Used]...)
+	frameSize := r.fixed.Layout.FrameSize
+	n := len(r.fixedRx) / frameSize * frameSize
+	if n == 0 {
+		return nil
+	}
+	frames, err := batch.UnpackFixedStream(r.fixed.Layout, r.fixedRx[:n])
+	if err != nil {
+		return err
+	}
+	r.fixedRx = append(r.fixedRx[:0], r.fixedRx[n:]...)
+	for _, items := range frames {
+		if err := r.software(items); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// software runs the checker (directly or through the Squash reorderer) and
+// triggers Replay on mismatch.
+func (r *runner) software(items []wire.Item) error {
+	for _, it := range items {
+		var m *checker.Mismatch
+		if r.opt.Squash {
+			m = r.desq.Process(it)
+		} else {
+			rec, err := wire.ToRecord(it)
+			if err != nil {
+				return err
+			}
+			m = r.chk.Process(rec)
+		}
+		if m != nil {
+			r.onMismatch(m)
+			return nil
+		}
+	}
+	return nil
+}
+
+func (r *runner) onMismatch(m *checker.Mismatch) {
+	r.res.Mismatch = m
+	r.stop = true
+	if r.opt.Squash && !r.p.DisableReplay && int(m.Core) < len(r.rctls) {
+		// Replay round trip: notify hardware, retransmit the buffered
+		// range, reprocess at instruction granularity (paper Fig. 11).
+		rep := r.rctls[m.Core].Run(m)
+		r.link.Send(rep.ReplayedBytes+64, rep.Replayed, 0)
+		r.res.Replay = rep
+	}
+}
+
+func (r *runner) flushAll() error {
+	if r.opt.Squash {
+		for _, f := range r.fusers {
+			if err := r.transport(f.Flush(), false); err != nil {
+				return err
+			}
+		}
+	}
+	if err := r.transport(nil, true); err != nil {
+		return err
+	}
+	if r.opt.Squash && !r.stop {
+		if m := r.desq.Flush(); m != nil {
+			r.onMismatch(m)
+		}
+	}
+	return nil
+}
+
+func (r *runner) finish(dutHz float64) {
+	res, d, link := r.res, r.d, r.link
+	res.Cycles = d.CycleCount
+	res.Instrs = d.Instrs
+	res.DUTOnlyHz = dutHz
+
+	for _, n := range d.EventCount {
+		res.MonitorEvents += n
+	}
+	res.MonitorBytes = d.EventBytes
+	if d.CycleCount > 0 {
+		res.EventsPerCycle = float64(res.MonitorEvents) / float64(d.CycleCount)
+		res.BytesPerCycle = float64(res.MonitorBytes) / float64(d.CycleCount)
+	}
+	if d.Instrs > 0 {
+		res.BytesPerInstr = float64(res.MonitorBytes) / float64(d.Instrs)
+	}
+
+	if r.p.Platform.IsSoftware() {
+		// Same-process co-simulation (Verilator): no cross-platform link;
+		// DiffTest costs a fixed efficiency factor.
+		res.SimSeconds = float64(res.Cycles) / (dutHz * r.p.Platform.CosimEff)
+	} else {
+		res.SimSeconds = link.Drain()
+	}
+	if res.SimSeconds > 0 {
+		res.SpeedHz = float64(res.Cycles) / res.SimSeconds
+	}
+
+	res.Invokes = link.Invokes
+	res.WireBytes = link.Bytes
+	res.SWSeconds = link.SWTime
+
+	tsync := r.p.Platform.TSyncBlocking
+	if r.opt.NonBlocking {
+		tsync = r.p.Platform.TSyncNonBlock
+	}
+	res.Breakdown = loggp.Model(loggp.Inputs{
+		Invokes: link.Invokes, Bytes: link.Bytes,
+		TSync: tsync, BWBps: r.p.Platform.BandwidthBps, TSw: link.SWTime,
+	})
+	pureDUT := float64(res.Cycles) / dutHz
+	if res.SimSeconds > 0 && !r.p.Platform.IsSoftware() {
+		res.CommOverheadShare = (res.SimSeconds - pureDUT) / res.SimSeconds
+		if res.CommOverheadShare < 0 {
+			res.CommOverheadShare = 0
+		}
+	}
+	if r.packer != nil {
+		res.PacketUtilation = r.packer.Utilization()
+	}
+	for _, f := range r.fusers {
+		res.Fusion.Windows += f.Stats.Windows
+		res.Fusion.FusedCommits += f.Stats.FusedCommits
+		res.Fusion.Breaks += f.Stats.Breaks
+		res.Fusion.NDEsAhead += f.Stats.NDEsAhead
+		res.Fusion.Diffs += f.Stats.Diffs
+		res.Fusion.DiffBytes += f.Stats.DiffBytes
+		res.Fusion.RawState += f.Stats.RawState
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Summary renders the artifact-style one-line result.
+func (r *Result) Summary() string {
+	status := "HIT GOOD TRAP"
+	switch {
+	case r.Mismatch != nil:
+		status = "MISMATCH: " + r.Mismatch.Error()
+	case !r.Finished:
+		status = "ABORTED"
+	case r.TrapCode != 0:
+		status = fmt.Sprintf("HIT BAD TRAP (code %d)", r.TrapCode)
+	}
+	return fmt.Sprintf("[%s/%s/%s] %s — Simulation speed: %.2f KHz (%d cycles, %d instrs)",
+		r.DUTName, r.Platform, r.Config, status, r.SpeedHz/1e3, r.Cycles, r.Instrs)
+}

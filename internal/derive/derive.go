@@ -1,0 +1,123 @@
+// Package derive builds the deterministic, reference-derivable verification
+// events for one executed instruction. The DUT monitor uses it to emit
+// events, and the software checker uses it to recompute the same events from
+// the reference model's execution — which is what allows Squash to fuse
+// these events into a digest without losing verification coverage: the
+// checker reproduces the digest independently and compares (paper §4.3).
+//
+// Events with DUT-specific timing (cache refills, TLB fills, store-buffer
+// drains, redirects) are not derivable and are transmitted with order tags
+// instead.
+package derive
+
+import (
+	"repro/internal/arch"
+	"repro/internal/event"
+	"repro/internal/isa"
+)
+
+// Events returns the derivable events for an executed instruction, in
+// canonical checking order. vstartBefore is the vstart CSR value before the
+// instruction executed.
+func Events(m *arch.Machine, ex *arch.Exec, vstartBefore uint64) []event.Event {
+	var out []event.Event
+
+	if ex.Exception {
+		out = append(out, &event.Exception{PC: ex.PC, Cause: ex.Cause, Tval: ex.Tval, Instr: ex.Instr})
+		if ex.Cause == isa.ExcGuestLoadPageFault || ex.Cause == isa.ExcGuestStorePageFault {
+			out = append(out,
+				&event.GuestPageFault{GVA: ex.Tval, GPA: ex.Tval, Cause: ex.Cause, Instr: ex.Instr},
+				&event.HTrap{
+					PC: ex.PC, Cause: ex.Cause,
+					Htval:   m.State.CSRVal(isa.CSRHtval),
+					Htinst:  m.State.CSRVal(isa.CSRHtinst),
+					Hstatus: m.State.CSRVal(isa.CSRHstatus),
+				})
+		}
+	}
+
+	if ex.Mem {
+		mmio := uint8(0)
+		if ex.MMIO {
+			mmio = 1
+		}
+		cl := isa.ClassOf(ex.Inst.Op)
+		switch {
+		case ex.Atomic:
+			out = append(out, &event.Atomic{
+				Addr: ex.MemAddr, Data: ex.MemData, Result: ex.Wdata,
+				Mask: ^uint64(0), FuOp: uint8(ex.Inst.Op), Old: ex.AtomicOld,
+			})
+		case cl == isa.ClassVecLoad || cl == isa.ClassVecStore:
+			out = append(out, &event.VecMem{Addr: ex.MemAddr, Mask: ^uint64(0), Data: ex.VData, Stride: 8})
+		case cl == isa.ClassHypLoad:
+			out = append(out, &event.HLoad{VAddr: ex.MemAddr, GPAddr: ex.MemAddr, Data: ex.MemData, Size: uint8(ex.MemSize)})
+		case ex.IsLoad:
+			out = append(out, &event.Load{
+				PAddr: ex.MemAddr, VAddr: ex.MemAddr, Data: ex.MemData,
+				Mask: sizeMask(ex.MemSize), OpType: uint8(ex.Inst.Op),
+				FuType: uint8(cl), MMIO: mmio,
+			})
+		default:
+			out = append(out, &event.Store{
+				Addr: ex.MemAddr, VAddr: ex.MemAddr, Data: ex.MemData,
+				Mask: uint8(ex.MemSize), MMIO: mmio,
+			})
+		}
+		if ex.LrSc {
+			succ := uint8(0)
+			if ex.ScSuccess {
+				succ = 1
+			}
+			out = append(out, &event.LrSc{Valid: 1, Success: succ})
+		}
+	}
+
+	if ex.Vec {
+		out = append(out, &event.VecCommit{PC: ex.PC, Instr: ex.Instr, VdIdx: ex.Wdest, Vl: ex.Vl})
+		if ex.WroteVec {
+			out = append(out, &event.VecWriteback{VdIdx: ex.Wdest, Data: ex.VData})
+		}
+		if after := m.State.CSRVal(isa.CSRVstart); after != vstartBefore {
+			out = append(out, &event.VstartUpdate{Old: vstartBefore, New: after})
+		}
+		if ex.Exception {
+			out = append(out, &event.VecExceptionTrack{PC: ex.PC, Vstart: m.State.CSRVal(isa.CSRVstart), Cause: ex.Cause, Elem: 0})
+		}
+	}
+
+	return out
+}
+
+func sizeMask(size int) uint64 {
+	if size >= 8 {
+		return ^uint64(0)
+	}
+	return 1<<(8*size) - 1
+}
+
+// Digest is an order-insensitive multiset digest over events: FNV-1a per
+// event combined by XOR. Squash transmits one digest per fusion window; the
+// checker recomputes it from derived events.
+type Digest struct {
+	Count uint32
+	Sum   uint64
+}
+
+// Add folds one event into the digest.
+func (d *Digest) Add(ev event.Event) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(ev.Kind())) * prime64
+	for _, b := range event.EncodeValue(ev) {
+		h = (h ^ uint64(b)) * prime64
+	}
+	d.Sum ^= h
+	d.Count++
+}
+
+// Equal reports whether two digests match.
+func (d Digest) Equal(o Digest) bool { return d.Count == o.Count && d.Sum == o.Sum }

@@ -1,0 +1,129 @@
+package derive
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func machineWith(prog []isa.Inst) *arch.Machine {
+	ram := mem.New()
+	addr := mem.RAMBase
+	for _, in := range prog {
+		ram.Write(addr, 4, uint64(isa.MustEncode(in)))
+		addr += 4
+	}
+	return arch.NewMachine(ram)
+}
+
+func kinds(evs []event.Event) []event.Kind {
+	out := make([]event.Kind, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Kind()
+	}
+	return out
+}
+
+func TestLoadDerivation(t *testing.T) {
+	m := machineWith([]isa.Inst{{Op: isa.OpLD, Rd: 1, Rs1: 2, Imm: 0}})
+	m.State.GPR[2] = mem.RAMBase + 0x100
+	m.Mem.Write(mem.RAMBase+0x100, 8, 0xABCD)
+	ex := m.Step()
+	evs := Events(m, &ex, 0)
+	if len(evs) != 1 {
+		t.Fatalf("events = %v", kinds(evs))
+	}
+	ld, ok := evs[0].(*event.Load)
+	if !ok || ld.Data != 0xABCD || ld.MMIO != 0 {
+		t.Fatalf("load event = %+v", evs[0])
+	}
+}
+
+func TestAtomicAndLrScDerivation(t *testing.T) {
+	m := machineWith([]isa.Inst{
+		{Op: isa.OpLRD, Rd: 1, Rs1: 2},
+		{Op: isa.OpSCD, Rd: 3, Rs1: 2, Rs2: 4},
+		{Op: isa.OpAMOADDD, Rd: 5, Rs1: 2, Rs2: 4},
+	})
+	m.State.GPR[2] = mem.RAMBase + 0x200
+	ex := m.Step()
+	got := kinds(Events(m, &ex, 0))
+	if len(got) != 2 || got[0] != event.KindLoad || got[1] != event.KindLrSc {
+		t.Errorf("lr.d derives %v", got)
+	}
+	ex = m.Step()
+	got = kinds(Events(m, &ex, 0))
+	if len(got) != 2 || got[0] != event.KindStore || got[1] != event.KindLrSc {
+		t.Errorf("sc.d derives %v", got)
+	}
+	ex = m.Step()
+	got = kinds(Events(m, &ex, 0))
+	if len(got) != 1 || got[0] != event.KindAtomic {
+		t.Errorf("amo derives %v", got)
+	}
+}
+
+func TestExceptionDerivation(t *testing.T) {
+	m := machineWith([]isa.Inst{{Op: isa.OpECALL}})
+	ex := m.Step()
+	got := kinds(Events(m, &ex, 0))
+	if len(got) != 1 || got[0] != event.KindException {
+		t.Errorf("ecall derives %v", got)
+	}
+
+	m = machineWith([]isa.Inst{{Op: isa.OpHLVD, Rd: 1, Rs1: 2}})
+	ex = m.Step() // hgatp=0 → guest fault
+	got = kinds(Events(m, &ex, 0))
+	want := []event.Kind{event.KindException, event.KindGuestPageFault, event.KindHTrap}
+	if len(got) != len(want) {
+		t.Fatalf("guest fault derives %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("guest fault event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVectorDerivationWithVstart(t *testing.T) {
+	m := machineWith([]isa.Inst{
+		{Op: isa.OpVSETVLI, Rd: 1, Rs1: 0, Imm: 0xC1},
+		{Op: isa.OpVADDVV, Rd: 1, Rs1: 2, Rs2: 3},
+	})
+	m.Step()
+	m.State.SetCSR(isa.CSRVstart, 2)
+	vb := m.State.CSRVal(isa.CSRVstart)
+	ex := m.Step()
+	got := kinds(Events(m, &ex, vb))
+	want := []event.Kind{event.KindVecCommit, event.KindVecWriteback, event.KindVstartUpdate}
+	if len(got) != len(want) {
+		t.Fatalf("vadd derives %v", got)
+	}
+}
+
+func TestDigestOrderInsensitive(t *testing.T) {
+	a := &event.Load{PAddr: 1, Data: 2}
+	b := &event.Store{Addr: 3, Data: 4}
+	var d1, d2 Digest
+	d1.Add(a)
+	d1.Add(b)
+	d2.Add(b)
+	d2.Add(a)
+	if !d1.Equal(d2) {
+		t.Error("digest is order-sensitive")
+	}
+	var d3 Digest
+	d3.Add(a)
+	if d1.Equal(d3) {
+		t.Error("digest ignores content")
+	}
+	var d4 Digest
+	d4.Add(a)
+	d4.Add(&event.Store{Addr: 3, Data: 5})
+	if d1.Equal(d4) {
+		t.Error("digest ignores field changes")
+	}
+}

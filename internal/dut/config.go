@@ -1,0 +1,161 @@
+// Package dut simulates the design under test: a RISC-V processor with a
+// configurable commit width, per-cycle timing model, and monitor probes that
+// extract the 32 verification event types each cycle — the role XiangShan
+// and NutShell RTL play on Palladium/FPGA in the paper.
+//
+// The DUT executes programs through the same architectural engine as the
+// reference model, plus a device bus (MMIO, interrupts — the sources of
+// non-determinism) and optional bug-injection hooks that model RTL defects.
+package dut
+
+import "repro/internal/event"
+
+// Config describes a DUT: its scale (Table 4 of the paper), commit width,
+// monitored event kinds, and the timing/eventing knobs that determine the
+// per-cycle verification traffic.
+type Config struct {
+	Name        string
+	CommitWidth int
+	Cores       int
+	GatesM      float64 // design size in millions of gates (Table 4)
+
+	// EventKinds lists the monitored verification event types; nil means
+	// all 32. NutShell monitors only 6 basic types (Table 4).
+	EventKinds []event.Kind
+
+	// Timing model.
+	StallPct int // percent of cycles committing nothing
+	BurstMax int // maximum commits per cycle (≤ CommitWidth)
+
+	// Probabilities (percent) of hierarchy events per memory access.
+	MissPct int // cache refill
+	TLBPct  int // L1 TLB fill (L2 fill at 1/4 this rate)
+	SbufPct int // store-buffer drain per store
+	CMOPct  int // cache-maintenance op per refill
+
+	// Snapshot cadences in cycles (0 disables).
+	FpStateEvery  int
+	VecStateEvery int
+	HStateEvery   int
+	DbgStateEvery int
+
+	// Interrupt cadences in cycles (0 disables). These model the
+	// DUT-specific asynchronous stimulus that makes NDE handling hard.
+	TimerIntEnabled bool // CLINT timer (armed by the workload)
+	ExtIntEvery     int  // external interrupt period
+	VirtIntEvery    int  // virtual interrupt period (hypervisor workloads)
+
+	Seed int64
+}
+
+// EnabledKinds returns the monitored-kind filter as a dense bitmap.
+func (c *Config) EnabledKinds() [event.NumKinds]bool {
+	var m [event.NumKinds]bool
+	if len(c.EventKinds) == 0 {
+		for i := range m {
+			m[i] = true
+		}
+		return m
+	}
+	for _, k := range c.EventKinds {
+		m[k] = true
+	}
+	return m
+}
+
+// NumEventKinds reports how many event types this DUT monitors.
+func (c *Config) NumEventKinds() int {
+	if len(c.EventKinds) == 0 {
+		return int(event.NumKinds)
+	}
+	return len(c.EventKinds)
+}
+
+// NutShell returns the scalar in-order configuration (paper Table 4:
+// 0.6M gates, 6 event types).
+func NutShell() Config {
+	return Config{
+		Name:        "NutShell",
+		CommitWidth: 1,
+		Cores:       1,
+		GatesM:      0.6,
+		// Six basic event types; Interrupt and Exception are mandatory for
+		// NDE synchronization and architectural-state alignment.
+		EventKinds: []event.Kind{
+			event.KindInstrCommit, event.KindTrap, event.KindInterrupt,
+			event.KindException, event.KindArchIntRegState, event.KindCSRState,
+		},
+		StallPct:        40,
+		BurstMax:        1,
+		MissPct:         5,
+		TimerIntEnabled: true,
+		ExtIntEvery:     5000,
+		Seed:            1,
+	}
+}
+
+// XiangShanMinimal returns the 2-wide out-of-order configuration
+// (39.4M gates, 32 event types).
+func XiangShanMinimal() Config {
+	return Config{
+		Name:            "XiangShan (Minimal)",
+		CommitWidth:     2,
+		Cores:           1,
+		GatesM:          39.4,
+		StallPct:        50,
+		BurstMax:        2,
+		MissPct:         8,
+		TLBPct:          12,
+		SbufPct:         15,
+		CMOPct:          10,
+		FpStateEvery:    1,
+		VecStateEvery:   2,
+		HStateEvery:     4,
+		DbgStateEvery:   4,
+		TimerIntEnabled: true,
+		ExtIntEvery:     4000,
+		VirtIntEvery:    9000,
+		Seed:            2,
+	}
+}
+
+// XiangShanDefault returns the 6-wide out-of-order configuration
+// (57.6M gates, 32 event types).
+func XiangShanDefault() Config {
+	return Config{
+		Name:            "XiangShan (Default)",
+		CommitWidth:     6,
+		Cores:           1,
+		GatesM:          57.6,
+		StallPct:        45,
+		BurstMax:        3,
+		MissPct:         12,
+		TLBPct:          20,
+		SbufPct:         25,
+		CMOPct:          10,
+		FpStateEvery:    1,
+		VecStateEvery:   1,
+		HStateEvery:     2,
+		DbgStateEvery:   2,
+		TimerIntEnabled: true,
+		ExtIntEvery:     4000,
+		VirtIntEvery:    9000,
+		Seed:            3,
+	}
+}
+
+// XiangShanDefaultDual returns the dual-core 6-wide configuration
+// (111.8M gates).
+func XiangShanDefaultDual() Config {
+	c := XiangShanDefault()
+	c.Name = "XiangShan (Default, 2C)"
+	c.Cores = 2
+	c.GatesM = 111.8
+	c.Seed = 4
+	return c
+}
+
+// Configs returns the four evaluation DUTs of the paper in Table-4 order.
+func Configs() []Config {
+	return []Config{NutShell(), XiangShanMinimal(), XiangShanDefault(), XiangShanDefaultDual()}
+}

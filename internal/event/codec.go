@@ -1,0 +1,132 @@
+package event
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Info describes one event kind's structural semantics: its name, Table-1
+// category, fixed wire size, and constructor. This is the metadata the Batch
+// parser uses to reconstruct events from tightly packed payloads.
+type Info struct {
+	Kind     Kind
+	Name     string
+	Category Category
+	Size     int
+	New      func() Event
+}
+
+var infos [NumKinds]Info
+
+func register(k Kind, newFn func() Event) {
+	size := binary.Size(newFn())
+	if size <= 0 {
+		panic(fmt.Sprintf("event: kind %v has no fixed binary size", k))
+	}
+	infos[k] = Info{Kind: k, Name: k.String(), Category: CategoryOf(k), Size: size, New: newFn}
+}
+
+func init() {
+	register(KindInstrCommit, func() Event { return new(InstrCommit) })
+	register(KindTrap, func() Event { return new(Trap) })
+	register(KindException, func() Event { return new(Exception) })
+	register(KindInterrupt, func() Event { return new(Interrupt) })
+	register(KindRedirect, func() Event { return new(Redirect) })
+	register(KindArchIntRegState, func() Event { return new(ArchIntRegState) })
+	register(KindArchFpRegState, func() Event { return new(ArchFpRegState) })
+	register(KindCSRState, func() Event { return new(CSRState) })
+	register(KindArchVecRegState, func() Event { return new(ArchVecRegState) })
+	register(KindVecCSRState, func() Event { return new(VecCSRState) })
+	register(KindFpCSRState, func() Event { return new(FpCSRState) })
+	register(KindHCSRState, func() Event { return new(HCSRState) })
+	register(KindDebugCSRState, func() Event { return new(DebugCSRState) })
+	register(KindTriggerCSRState, func() Event { return new(TriggerCSRState) })
+	register(KindLoad, func() Event { return new(Load) })
+	register(KindStore, func() Event { return new(Store) })
+	register(KindAtomic, func() Event { return new(Atomic) })
+	register(KindSbuffer, func() Event { return new(Sbuffer) })
+	register(KindL1TLB, func() Event { return new(L1TLB) })
+	register(KindL2TLB, func() Event { return new(L2TLB) })
+	register(KindRefill, func() Event { return new(Refill) })
+	register(KindLrSc, func() Event { return new(LrSc) })
+	register(KindCMO, func() Event { return new(CMO) })
+	register(KindVecCommit, func() Event { return new(VecCommit) })
+	register(KindVecWriteback, func() Event { return new(VecWriteback) })
+	register(KindVecMem, func() Event { return new(VecMem) })
+	register(KindHTrap, func() Event { return new(HTrap) })
+	register(KindGuestPageFault, func() Event { return new(GuestPageFault) })
+	register(KindVstartUpdate, func() Event { return new(VstartUpdate) })
+	register(KindHLoad, func() Event { return new(HLoad) })
+	register(KindVirtualInterrupt, func() Event { return new(VirtualInterrupt) })
+	register(KindVecExceptionTrack, func() Event { return new(VecExceptionTrack) })
+}
+
+// InfoOf returns the structural metadata for kind k.
+func InfoOf(k Kind) Info { return infos[k] }
+
+// SizeOf returns the fixed wire size in bytes of kind k.
+func SizeOf(k Kind) int { return infos[k].Size }
+
+// TotalSize returns the aggregated size of one instance of every event kind,
+// the figure the paper reports as the total interface width (§2.2).
+func TotalSize() int {
+	n := 0
+	for _, in := range infos {
+		n += in.Size
+	}
+	return n
+}
+
+// Encode appends ev's wire encoding to dst and returns the extended slice.
+func Encode(dst []byte, ev Event) []byte {
+	var buf bytes.Buffer
+	buf.Grow(SizeOf(ev.Kind()))
+	if err := binary.Write(&buf, binary.LittleEndian, ev); err != nil {
+		panic(fmt.Sprintf("event: encode %v: %v", ev.Kind(), err))
+	}
+	return append(dst, buf.Bytes()...)
+}
+
+// EncodeValue returns ev's wire encoding as a fresh slice.
+func EncodeValue(ev Event) []byte { return Encode(nil, ev) }
+
+// Decode reconstructs an event of kind k from its wire encoding. The data
+// slice must be exactly SizeOf(k) bytes.
+func Decode(k Kind, data []byte) (Event, error) {
+	if k >= NumKinds {
+		return nil, fmt.Errorf("event: unknown kind %d", k)
+	}
+	if len(data) != infos[k].Size {
+		return nil, fmt.Errorf("event: kind %v wants %d bytes, got %d", k, infos[k].Size, len(data))
+	}
+	ev := infos[k].New()
+	if err := binary.Read(bytes.NewReader(data), binary.LittleEndian, ev); err != nil {
+		return nil, fmt.Errorf("event: decode %v: %w", k, err)
+	}
+	return ev, nil
+}
+
+// Equal reports whether two events have the same kind and identical wire
+// encodings (and therefore identical field values).
+func Equal(a, b Event) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	return bytes.Equal(EncodeValue(a), EncodeValue(b))
+}
+
+// Record is an event stamped with its order tag: the global instruction
+// commit sequence number after which it must be checked. The tag is the
+// order semantics Squash exploits to decouple transmission order from
+// checking order (paper §4.3).
+type Record struct {
+	Seq  uint64
+	Core uint8
+	Ev   Event
+}
+
+// String renders a record for debug reports.
+func (r Record) String() string {
+	return fmt.Sprintf("c%d@%d %v%+v", r.Core, r.Seq, r.Ev.Kind(), r.Ev)
+}

@@ -1,0 +1,130 @@
+// Package event defines the 32 verification event types extracted from the
+// DUT and checked against the reference model, mirroring Table 1 of the
+// DiffTest-H paper: control flow, register updates, memory access, memory
+// hierarchy, and RISC-V extension events.
+//
+// Event sizes span a wide range (the paper reports up to 170×); here the
+// smallest event (LrSc) is 8 bytes and the largest (ArchVecRegState) is
+// 1360 bytes, a 170× spread. Every event kind has a fixed wire size, which
+// is the structural semantics Batch exploits for tight packing.
+package event
+
+// Kind identifies one of the 32 verification event types.
+type Kind uint8
+
+// The 32 verification event kinds.
+const (
+	// Control flow (5).
+	KindInstrCommit Kind = iota
+	KindTrap
+	KindException
+	KindInterrupt
+	KindRedirect
+
+	// Register updates (9).
+	KindArchIntRegState
+	KindArchFpRegState
+	KindCSRState
+	KindArchVecRegState
+	KindVecCSRState
+	KindFpCSRState
+	KindHCSRState
+	KindDebugCSRState
+	KindTriggerCSRState
+
+	// Memory access (3).
+	KindLoad
+	KindStore
+	KindAtomic
+
+	// Memory hierarchy (6).
+	KindSbuffer
+	KindL1TLB
+	KindL2TLB
+	KindRefill
+	KindLrSc
+	KindCMO
+
+	// RISC-V extensions (9).
+	KindVecCommit
+	KindVecWriteback
+	KindVecMem
+	KindHTrap
+	KindGuestPageFault
+	KindVstartUpdate
+	KindHLoad
+	KindVirtualInterrupt
+	KindVecExceptionTrack
+
+	// NumKinds is the number of verification event types (32).
+	NumKinds
+)
+
+// Category groups kinds per Table 1 of the paper.
+type Category uint8
+
+// Event categories.
+const (
+	CatControlFlow Category = iota
+	CatRegisterUpdate
+	CatMemoryAccess
+	CatMemoryHierarchy
+	CatExtension
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"Control Flow", "Register Updates", "Memory Access", "Memory Hierarchy", "RISC-V Extensions",
+}
+
+// String returns the category's display name.
+func (c Category) String() string {
+	if c < NumCategories {
+		return categoryNames[c]
+	}
+	return "Unknown"
+}
+
+var kindNames = [NumKinds]string{
+	"InstrCommit", "Trap", "Exception", "Interrupt", "Redirect",
+	"ArchIntRegState", "ArchFpRegState", "CSRState", "ArchVecRegState",
+	"VecCSRState", "FpCSRState", "HCSRState", "DebugCSRState", "TriggerCSRState",
+	"Load", "Store", "Atomic",
+	"Sbuffer", "L1TLB", "L2TLB", "Refill", "LrSc", "CMO",
+	"VecCommit", "VecWriteback", "VecMem", "HTrap", "GuestPageFault",
+	"VstartUpdate", "HLoad", "VirtualInterrupt", "VecExceptionTrack",
+}
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return "Kind?"
+}
+
+var kindCategories = [NumKinds]Category{
+	KindInstrCommit: CatControlFlow, KindTrap: CatControlFlow,
+	KindException: CatControlFlow, KindInterrupt: CatControlFlow, KindRedirect: CatControlFlow,
+
+	KindArchIntRegState: CatRegisterUpdate, KindArchFpRegState: CatRegisterUpdate,
+	KindCSRState: CatRegisterUpdate, KindArchVecRegState: CatRegisterUpdate,
+	KindVecCSRState: CatRegisterUpdate, KindFpCSRState: CatRegisterUpdate,
+	KindHCSRState: CatRegisterUpdate, KindDebugCSRState: CatRegisterUpdate,
+	KindTriggerCSRState: CatRegisterUpdate,
+
+	KindLoad: CatMemoryAccess, KindStore: CatMemoryAccess, KindAtomic: CatMemoryAccess,
+
+	KindSbuffer: CatMemoryHierarchy, KindL1TLB: CatMemoryHierarchy,
+	KindL2TLB: CatMemoryHierarchy, KindRefill: CatMemoryHierarchy,
+	KindLrSc: CatMemoryHierarchy, KindCMO: CatMemoryHierarchy,
+
+	KindVecCommit: CatExtension, KindVecWriteback: CatExtension,
+	KindVecMem: CatExtension, KindHTrap: CatExtension,
+	KindGuestPageFault: CatExtension, KindVstartUpdate: CatExtension,
+	KindHLoad: CatExtension, KindVirtualInterrupt: CatExtension,
+	KindVecExceptionTrack: CatExtension,
+}
+
+// CategoryOf returns the Table-1 category of k.
+func CategoryOf(k Kind) Category { return kindCategories[k] }

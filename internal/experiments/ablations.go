@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/ref"
+	"repro/internal/workload"
+)
+
+// hooksNone is the empty hook set shared by experiment helpers.
+var hooksNone = arch.Hooks{}
+
+// AblationPacketSize sweeps the Batch packet size (DESIGN.md decision 1):
+// small packets pay more per-transfer startups, oversized packets add
+// detection latency without further speedup.
+func AblationPacketSize(instrs uint64) *Report {
+	r := &Report{
+		ID: "Ablation A", Title: "Batch packet size sweep (XiangShan/Palladium, EB)",
+		Header: []string{"Packet bytes", "Speed", "Invokes/kcycle", "Utilization"},
+	}
+	for _, size := range []int{2048, 4096, 8192, 16384, 65536} {
+		p := platform.Palladium()
+		p.PacketBytes = size
+		res := mustRun(baseParams(dut.XiangShanDefault(), p, "EB", scale(workload.LinuxBoot(), instrs)))
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(size),
+			speedStr(res.SpeedHz),
+			fmt.Sprintf("%.2f", float64(res.Invokes)/float64(res.Cycles)*1000),
+			fmt.Sprintf("%.2f", res.PacketUtilation),
+		})
+	}
+	return r
+}
+
+// AblationFusionWindow sweeps the Squash window size (DESIGN.md decision 3):
+// longer windows fuse more but delay mismatch detection and grow replay
+// ranges.
+func AblationFusionWindow(instrs uint64) *Report {
+	r := &Report{
+		ID: "Ablation B", Title: "Squash fusion window sweep (XiangShan/Palladium, EBINSD)",
+		Header: []string{"Window", "Speed", "Fusion ratio", "Wire bytes/kcycle"},
+	}
+	for _, window := range []int{8, 16, 32, 64, 128, 256} {
+		o := opt("EBINSD")
+		o.MaxFuse = window
+		res := mustRun(params(dut.XiangShanDefault(), platform.Palladium(), o,
+			scale(workload.LinuxBoot(), instrs)))
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(window),
+			speedStr(res.SpeedHz),
+			fmt.Sprintf("%.1f", res.Fusion.FusionRatio()),
+			fmt.Sprintf("%.0f", float64(res.WireBytes)/float64(res.Cycles)*1000),
+		})
+	}
+	return r
+}
+
+// AblationOrderCoupling compares order-decoupled fusion against the
+// order-coupled baseline of existing schemes (paper Figure 8) across
+// workloads with different NDE rates.
+func AblationOrderCoupling(instrs uint64) *Report {
+	r := &Report{
+		ID: "Ablation C", Title: "Order-decoupled vs order-coupled fusion",
+		Header: []string{"Workload", "Decoupled ratio", "Coupled ratio", "Breaks", "Wire-byte ratio"},
+	}
+	for _, prof := range []workload.Profile{workload.Microbench(), workload.SPEC(), workload.LinuxBoot(), workload.KVM()} {
+		wl := scale(prof, instrs)
+		dec := mustRun(baseParams(dut.XiangShanDefault(), platform.Palladium(), "EBINSD", wl))
+		o := opt("EBINSD")
+		o.CoupleOrder = true
+		cpl := mustRun(params(dut.XiangShanDefault(), platform.Palladium(), o, wl))
+		r.Rows = append(r.Rows, []string{
+			prof.Name,
+			fmt.Sprintf("%.1f", dec.Fusion.FusionRatio()),
+			fmt.Sprintf("%.1f", cpl.Fusion.FusionRatio()),
+			fmt.Sprint(cpl.Fusion.Breaks),
+			fmt.Sprintf("%.2f", float64(cpl.WireBytes)/float64(dec.WireBytes)),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"NDE-heavy workloads (linux, kvm) break coupled fusion hardest — the paper's §4.3 motivation")
+	return r
+}
+
+// AblationReplayVsSnapshot compares Replay's compensation-log checkpointing
+// against full reference-model snapshots (paper Figure 10): wall time and
+// memory per checkpoint at a realistic cadence.
+func AblationReplayVsSnapshot(instrs uint64) *Report {
+	r := &Report{
+		ID: "Ablation D", Title: "REF revert strategies: compensation log vs full snapshot",
+		Header: []string{"Strategy", "Checkpoints", "Wall time", "Revert wall time", "Approx bytes held"},
+	}
+	prog := workload.Generate(scale(workload.Microbench(), instrs), 1, 7)
+	const window = 64
+
+	steps := int(instrs)
+	if steps == 0 {
+		steps = DefaultInstrs
+	}
+
+	// Compensation-log checkpoints at every fusion-window boundary.
+	rc := ref.New(prog.Image)
+	rc.M.State.PC = prog.Entries[0]
+	start := time.Now()
+	var marks []ref.Mark
+	for i := 0; i < steps; i++ {
+		if i%window == 0 {
+			marks = append(marks, rc.Checkpoint())
+			if len(marks) > 2 {
+				rc.TrimBefore(marks[len(marks)-2])
+			}
+		}
+		rc.Step()
+	}
+	compTime := time.Since(start)
+	compBytes := rc.LogLen() * 24
+	start = time.Now()
+	rc.Revert(marks[len(marks)-1])
+	compRevert := time.Since(start)
+
+	// Full snapshots at the same cadence.
+	rs := ref.New(prog.Image)
+	rs.M.State.PC = prog.Entries[0]
+	start = time.Now()
+	var snap ref.Snapshot
+	snaps := 0
+	for i := 0; i < steps; i++ {
+		if i%window == 0 {
+			snap = rs.TakeSnapshot()
+			snaps++
+		}
+		rs.Step()
+	}
+	snapTime := time.Since(start)
+	snapBytes := snap.Mem.PageCount() * 4096
+	start = time.Now()
+	rs.RestoreSnapshot(snap)
+	snapRevert := time.Since(start)
+
+	r.Rows = append(r.Rows, []string{
+		"Compensation log (Replay)", fmt.Sprint(len(marks)),
+		compTime.Round(time.Microsecond).String(),
+		compRevert.Round(time.Microsecond).String(),
+		fmt.Sprint(compBytes),
+	})
+	r.Rows = append(r.Rows, []string{
+		"Full snapshot", fmt.Sprint(snaps),
+		snapTime.Round(time.Microsecond).String(),
+		snapRevert.Round(time.Microsecond).String(),
+		fmt.Sprint(snapBytes),
+	})
+	r.Notes = append(r.Notes,
+		"snapshotting copies all mapped memory each checkpoint; the compensation log records only deltas (paper §4.4)")
+	return r
+}

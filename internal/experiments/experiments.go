@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) from the implemented system: the command-line tools print
+// these reports and the benchmark harness times them. Each experiment
+// returns a Report whose rows mirror the paper's presentation; see
+// EXPERIMENTS.md for paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	sb.WriteString(stats.Table(r.Header, r.Rows))
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// DefaultInstrs is the default dynamic instruction budget per run. The
+// paper's runs are billions of instructions; reports scale linearly, so a
+// few hundred thousand instructions reproduce the same shapes in seconds.
+const DefaultInstrs = 120_000
+
+func scale(p workload.Profile, instrs uint64) workload.Profile {
+	if instrs == 0 {
+		instrs = DefaultInstrs
+	}
+	p.TargetInstrs = instrs
+	return p
+}
+
+// mustRun executes one co-simulation, panicking on harness errors (the
+// experiment definitions are statically valid).
+func mustRun(p cosim.Params) *cosim.Result {
+	res, err := cosim.Run(p)
+	if err != nil {
+		panic(fmt.Sprintf("experiment run failed: %v", err))
+	}
+	return res
+}
+
+func kHz(hz float64) string {
+	return fmt.Sprintf("%.1f KHz", hz/1e3)
+}
+
+func mHz(hz float64) string {
+	return fmt.Sprintf("%.2f MHz", hz/1e6)
+}
+
+func speedStr(hz float64) string {
+	if hz >= 1e6 {
+		return mHz(hz)
+	}
+	return kHz(hz)
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// opt resolves a named configuration.
+func opt(name string) cosim.Options {
+	o, err := cosim.ParseConfig(name)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// baseParams builds the standard run setup for a named configuration.
+func baseParams(d dut.Config, p platform.Platform, cfg string, wl workload.Profile) cosim.Params {
+	return params(d, p, opt(cfg), wl)
+}
+
+// params builds a run setup with explicit options.
+func params(d dut.Config, p platform.Platform, o cosim.Options, wl workload.Profile) cosim.Params {
+	return cosim.Params{DUT: d, Platform: p, Opt: o, Workload: wl, Seed: 7}
+}

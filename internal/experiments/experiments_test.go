@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small instruction budget: these tests validate shapes, not magnitudes.
+const testInstrs = 15_000
+
+func checkReport(t *testing.T, r *Report, wantRows int) {
+	t.Helper()
+	if r.ID == "" || r.Title == "" || len(r.Header) == 0 {
+		t.Fatalf("underspecified report: %+v", r)
+	}
+	if len(r.Rows) < wantRows {
+		t.Fatalf("%s: %d rows, want at least %d", r.ID, len(r.Rows), wantRows)
+	}
+	for i, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Errorf("%s row %d: %d cells for %d columns", r.ID, i, len(row), len(r.Header))
+		}
+	}
+	if s := r.String(); !strings.Contains(s, r.Title) {
+		t.Errorf("%s: rendering lacks the title", r.ID)
+	}
+}
+
+func TestTable1(t *testing.T)   { checkReport(t, Table1(), 5) }
+func TestTable2(t *testing.T)   { checkReport(t, Table2(), 3) }
+func TestTable6(t *testing.T)   { checkReport(t, Table6(), 15) }
+func TestFigure15(t *testing.T) { checkReport(t, Figure15(), 3) }
+
+func TestTable4(t *testing.T) {
+	r := Table4(testInstrs)
+	checkReport(t, r, 4)
+	// NutShell must report far fewer bytes/instr than XiangShan.
+	if r.Rows[0][3] >= r.Rows[2][3] && len(r.Rows[0][3]) >= len(r.Rows[2][3]) {
+		t.Errorf("NutShell bytes/instr %s not below XiangShan %s", r.Rows[0][3], r.Rows[2][3])
+	}
+}
+
+func TestTable5(t *testing.T) {
+	r := Table5(testInstrs)
+	checkReport(t, r, 4)
+	if !strings.Contains(r.Rows[3][0], "Squash") {
+		t.Errorf("last row = %v", r.Rows[3])
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	r := Figure2(testInstrs)
+	checkReport(t, r, 3)
+	for _, row := range r.Rows {
+		if !strings.Contains(row[4], "9") { // >90% comm share everywhere
+			t.Errorf("%s: baseline comm share %s suspiciously low", row[0], row[4])
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	r := Figure4(testInstrs)
+	checkReport(t, r, 32)
+}
+
+func TestFigure13(t *testing.T) {
+	r := Figure13(testInstrs)
+	checkReport(t, r, 4)
+}
+
+func TestFigure14(t *testing.T) {
+	r := Figure14(60_000)
+	checkReport(t, r, len(Figure14Bugs))
+	for _, row := range r.Rows {
+		if row[1] == "escaped" {
+			t.Errorf("bug %s escaped in Figure 14 harness", row[0])
+		}
+	}
+}
+
+func TestTable7(t *testing.T) {
+	r := Table7(testInstrs)
+	checkReport(t, r, 5)
+}
+
+func TestAblations(t *testing.T) {
+	checkReport(t, AblationPacketSize(testInstrs), 5)
+	checkReport(t, AblationFusionWindow(testInstrs), 6)
+	checkReport(t, AblationOrderCoupling(testInstrs), 4)
+	checkReport(t, AblationReplayVsSnapshot(20_000), 2)
+}
+
+func TestDetectionLatency(t *testing.T) {
+	r := DetectionLatency(120_000)
+	checkReport(t, r, 3)
+	for _, row := range r.Rows {
+		if row[2] == "escaped" {
+			t.Errorf("bug %s escaped in latency harness", row[0])
+			continue
+		}
+		// Replay must localize to the same instruction the per-event
+		// checker flags (or one adjacent to the manifestation point).
+		if row[5] == "-" {
+			t.Errorf("bug %s: replay produced no localization", row[0])
+		}
+	}
+	t.Log("\n" + r.String())
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bugs"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/event"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Figure2 reproduces the overhead breakdown across DUTs and platforms
+// (paper Figure 2): the three LogGP phases of the unoptimized baseline.
+func Figure2(instrs uint64) *Report {
+	r := &Report{
+		ID: "Figure 2", Title: "Overhead breakdown across DUTs and platforms (baseline)",
+		Header: []string{"Setup", "Startup", "Transmission", "Software", "Comm share of total"},
+	}
+	setups := []struct {
+		d dut.Config
+		p platform.Platform
+	}{
+		{dut.NutShell(), platform.Palladium()},
+		{dut.XiangShanDefault(), platform.Palladium()},
+		{dut.XiangShanDefault(), platform.FPGA()},
+	}
+	for _, s := range setups {
+		res := mustRun(baseParams(s.d, s.p, "Z", scale(workload.LinuxBoot(), instrs)))
+		st, tr, sw := res.Breakdown.Shares()
+		r.Rows = append(r.Rows, []string{
+			s.d.Name + " / " + s.p.Name, pct(st), pct(tr), pct(sw), pct(res.CommOverheadShare),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"XiangShan shows higher transmission+software shares than NutShell (richer events);",
+		"the FPGA shows a higher startup share than Palladium (PCIe handshakes) with more bandwidth")
+	return r
+}
+
+// Figure4 reproduces the event size and invocation census (paper Figure 4):
+// per event kind, the wire size and the measured invocations per kilocycle
+// on XiangShan-default running Linux boot.
+func Figure4(instrs uint64) *Report {
+	r := &Report{
+		ID: "Figure 4", Title: "Verification event size and invocations (XiangShan default, linux)",
+		Header: []string{"ID", "Event", "Size (B)", "Invocations/kcycle"},
+	}
+	res := mustRun(baseParams(dut.XiangShanDefault(), platform.Palladium(), "Z",
+		scale(workload.LinuxBoot(), instrs)))
+	_ = res
+
+	// Re-run the monitor alone for per-kind counts.
+	prog := workload.Generate(scale(workload.LinuxBoot(), instrs), 1, 7)
+	sim := newMonitorRun(dut.XiangShanDefault(), prog)
+
+	kinds := make([]event.Kind, 0, event.NumKinds)
+	for k := event.Kind(0); k < event.NumKinds; k++ {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		return event.SizeOf(kinds[i]) < event.SizeOf(kinds[j])
+	})
+	for i, k := range kinds {
+		perK := float64(sim.EventCount[k]) / float64(sim.CycleCount) * 1000
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(i + 1), k.String(), fmt.Sprint(event.SizeOf(k)),
+			fmt.Sprintf("%.1f", perK),
+		})
+	}
+	minSize := event.SizeOf(kinds[0])
+	maxSize := event.SizeOf(kinds[len(kinds)-1])
+	r.Notes = append(r.Notes, fmt.Sprintf("size spread %d–%d bytes (%d×)",
+		minSize, maxSize, maxSize/minSize))
+	return r
+}
+
+// Figure13 reproduces the performance comparison (paper Figure 13): for each
+// DUT scale, 16-thread Verilator, the unoptimized Palladium baseline, the
+// full DiffTest-H stack, and the DUT-only ceiling.
+func Figure13(instrs uint64) *Report {
+	r := &Report{
+		ID: "Figure 13", Title: "Performance comparison (Linux boot)",
+		Header: []string{"DUT", "Verilator-16t", "Baseline/PLDM", "DiffTest-H/PLDM", "DUT-only/PLDM", "vs base", "vs Verilator"},
+	}
+	wl := scale(workload.LinuxBoot(), instrs)
+	for _, d := range dut.Configs() {
+		veri := mustRun(baseParams(d, platform.Verilator(16), "Z", wl))
+		base := mustRun(baseParams(d, platform.Palladium(), "Z", wl))
+		dth := mustRun(baseParams(d, platform.Palladium(), "EBINSD", wl))
+		r.Rows = append(r.Rows, []string{
+			d.Name,
+			speedStr(veri.SpeedHz), speedStr(base.SpeedHz), speedStr(dth.SpeedHz),
+			speedStr(dth.DUTOnlyHz),
+			fmt.Sprintf("%.0fx", dth.SpeedHz/base.SpeedHz),
+			fmt.Sprintf("%.0fx", dth.SpeedHz/veri.SpeedHz),
+		})
+	}
+	return r
+}
+
+// Figure14Bugs is the bug sample used for the detection-time figure.
+var Figure14Bugs = []string{
+	"load-sign-extension", "store-byte-drop", "mepc-misaligned-on-trap",
+	"branch-not-taken", "vadd-lane-drop", "misaligned-wakeup-data",
+}
+
+// Figure14 reproduces the bug detection time comparison (paper Figure 14):
+// the simulated wall-clock time to reach each bug's manifestation on
+// 16-thread Verilator versus DiffTest-H on Palladium.
+func Figure14(instrs uint64) *Report {
+	r := &Report{
+		ID: "Figure 14", Title: "Bug detection time (simulated wall clock)",
+		Header: []string{"Bug", "Detect cycle", "Verilator-16t", "DiffTest-H/PLDM", "Speedup"},
+	}
+	veriHz := platform.Verilator(16).DUTOnlyHz(57.6) * platform.Verilator(16).CosimEff
+	for _, id := range Figure14Bugs {
+		b, ok := bugs.ByID(id)
+		if !ok {
+			continue
+		}
+		prof := scale(workload.LinuxBoot(), instrs)
+		res := mustRun(cosim.Params{
+			DUT: dut.XiangShanDefault(), Platform: platform.Palladium(),
+			Opt: opt("EBINSD"), Workload: prof, Seed: 21, Hooks: b.Hooks(0),
+		})
+		if res.Mismatch == nil {
+			r.Rows = append(r.Rows, []string{b.ID, "escaped", "-", "-", "-"})
+			continue
+		}
+		tVeri := float64(res.Cycles) / veriHz
+		tDTH := float64(res.Cycles) / res.SpeedHz
+		r.Rows = append(r.Rows, []string{
+			b.ID,
+			fmt.Sprint(res.Cycles),
+			duration(tVeri),
+			duration(tDTH),
+			fmt.Sprintf("%.0fx", tVeri/tDTH),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"the paper's bugs manifest after millions-to-billions of cycles: at these speed ratios",
+		"a bug needing 2 months of Verilator time is reached in ~11 hours by DiffTest-H")
+	return r
+}
+
+func duration(sec float64) string {
+	switch {
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1f µs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1f ms", sec*1e3)
+	case sec < 120:
+		return fmt.Sprintf("%.1f s", sec)
+	case sec < 7200:
+		return fmt.Sprintf("%.1f min", sec/60)
+	case sec < 48*3600:
+		return fmt.Sprintf("%.1f h", sec/3600)
+	default:
+		return fmt.Sprintf("%.1f days", sec/86400)
+	}
+}
+
+// newMonitorRun executes a DUT to completion without a checker, for monitor
+// statistics.
+func newMonitorRun(cfg dut.Config, prog *workload.Program) *dut.DUT {
+	sim := dut.New(cfg, prog.Image, prog.Entries, hooksNone)
+	for {
+		if _, done := sim.StepCycle(); done {
+			return sim
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bugs"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// DetectionLatency measures the debuggability cost of fusion: how many
+// instructions pass between a bug's manifestation and its detection, under
+// per-event checking (Z) versus the fully fused stack (EBINSD). Fusion
+// defers detection to window/digest boundaries; Replay then recovers the
+// exact faulting instruction, so the final localization is identical —
+// the paper's "preserving instruction-level debuggability" claim in
+// measurable form.
+func DetectionLatency(instrs uint64) *Report {
+	r := &Report{
+		ID: "Ablation E", Title: "Bug detection latency: per-event vs fused checking",
+		Header: []string{"Bug", "Manifest@", "Z detects@", "EBINSD detects@",
+			"Fused extra latency", "Replay localizes@"},
+	}
+	sample := []string{"load-sign-extension", "amo-old-value-corrupt", "mepc-misaligned-on-trap"}
+	for _, id := range sample {
+		b, ok := bugs.ByID(id)
+		if !ok {
+			continue
+		}
+		runWith := func(cfg string) (*cosim.Result, *bugs.Fired) {
+			hooks, fired := b.Instrument(0)
+			res := mustRun(cosim.Params{
+				DUT: dut.XiangShanDefault(), Platform: platform.Palladium(),
+				Opt: opt(cfg), Workload: scale(workload.LinuxBoot(), instrs),
+				Seed: 21, Hooks: hooks,
+			})
+			return res, fired
+		}
+		z, zFired := runWith("Z")
+		f, fFired := runWith("EBINSD")
+		if z.Mismatch == nil || f.Mismatch == nil || !zFired.Manifested || !fFired.Manifested {
+			r.Rows = append(r.Rows, []string{b.ID, "-", "escaped", "escaped", "-", "-"})
+			continue
+		}
+		extra := int64(f.Mismatch.Seq) - int64(z.Mismatch.Seq)
+		localized := "-"
+		if f.Replay != nil && f.Replay.Detailed != nil {
+			localized = fmt.Sprint(f.Replay.Detailed.Seq)
+		}
+		r.Rows = append(r.Rows, []string{
+			b.ID,
+			fmt.Sprint(zFired.Instr),
+			fmt.Sprint(z.Mismatch.Seq),
+			fmt.Sprint(f.Mismatch.Seq),
+			fmt.Sprintf("%+d instrs", extra),
+			localized,
+		})
+	}
+	r.Notes = append(r.Notes,
+		"fused detection lags by up to one fusion window + state-flush period;",
+		"Replay reprocesses the buffered unfused events and reports the same faulting instruction as Z")
+	return r
+}

@@ -1,0 +1,223 @@
+package isa
+
+import "fmt"
+
+func signExtend(v uint64, bits uint) int64 {
+	shift := 64 - bits
+	return int64(v<<shift) >> shift
+}
+
+func immI(w uint32) int64 { return signExtend(uint64(w>>20), 12) }
+
+func immS(w uint32) int64 {
+	v := uint64(w>>7&0x1F) | uint64(w>>25&0x7F)<<5
+	return signExtend(v, 12)
+}
+
+func immB(w uint32) int64 {
+	v := uint64(w>>8&0xF)<<1 | uint64(w>>25&0x3F)<<5 | uint64(w>>7&1)<<11 | uint64(w>>31&1)<<12
+	return signExtend(v, 13)
+}
+
+func immU(w uint32) int64 { return int64(int32(w & 0xFFFFF000)) }
+
+func immJ(w uint32) int64 {
+	v := uint64(w>>21&0x3FF)<<1 | uint64(w>>20&1)<<11 | uint64(w>>12&0xFF)<<12 | uint64(w>>31&1)<<20
+	return signExtend(v, 21)
+}
+
+var branchOps = [8]Opcode{OpBEQ, OpBNE, OpInvalid, OpInvalid, OpBLT, OpBGE, OpBLTU, OpBGEU}
+var loadOps = [8]Opcode{OpLB, OpLH, OpLW, OpLD, OpLBU, OpLHU, OpLWU, OpInvalid}
+var storeOps = [8]Opcode{OpSB, OpSH, OpSW, OpSD, OpInvalid, OpInvalid, OpInvalid, OpInvalid}
+var csrOps = [8]Opcode{OpInvalid, OpCSRRW, OpCSRRS, OpCSRRC, OpInvalid, OpCSRRWI, OpCSRRSI, OpCSRRCI}
+
+// Decode disassembles a 32-bit machine word into an Inst. An unrecognized
+// encoding yields an error; the returned Inst then has Op == OpInvalid and
+// retains the raw word for diagnostics.
+func Decode(w uint32) (Inst, error) {
+	in := Inst{Raw: w}
+	rd := uint8(w >> 7 & 0x1F)
+	f3 := w >> 12 & 7
+	rs1 := uint8(w >> 15 & 0x1F)
+	rs2 := uint8(w >> 20 & 0x1F)
+	f7 := w >> 25 & 0x7F
+
+	switch w & 0x7F {
+	case baseLUI:
+		in.Op, in.Rd, in.Imm = OpLUI, rd, immU(w)
+	case baseAUIPC:
+		in.Op, in.Rd, in.Imm = OpAUIPC, rd, immU(w)
+	case baseJAL:
+		in.Op, in.Rd, in.Imm = OpJAL, rd, immJ(w)
+	case baseJALR:
+		in.Op, in.Rd, in.Rs1, in.Imm = OpJALR, rd, rs1, immI(w)
+	case baseBranch:
+		in.Op, in.Rs1, in.Rs2, in.Imm = branchOps[f3], rs1, rs2, immB(w)
+	case baseLoad:
+		in.Op, in.Rd, in.Rs1, in.Imm = loadOps[f3], rd, rs1, immI(w)
+	case baseStore:
+		in.Op, in.Rs1, in.Rs2, in.Imm = storeOps[f3], rs1, rs2, immS(w)
+	case baseOpImm:
+		in.Rd, in.Rs1 = rd, rs1
+		switch f3 {
+		case 0:
+			in.Op, in.Imm = OpADDI, immI(w)
+		case 1:
+			in.Op, in.Imm = OpSLLI, int64(w>>20&0x3F)
+		case 2:
+			in.Op, in.Imm = OpSLTI, immI(w)
+		case 3:
+			in.Op, in.Imm = OpSLTIU, immI(w)
+		case 4:
+			in.Op, in.Imm = OpXORI, immI(w)
+		case 5:
+			if w>>26 == 0x10 {
+				in.Op = OpSRAI
+			} else {
+				in.Op = OpSRLI
+			}
+			in.Imm = int64(w >> 20 & 0x3F)
+		case 6:
+			in.Op, in.Imm = OpORI, immI(w)
+		case 7:
+			in.Op, in.Imm = OpANDI, immI(w)
+		}
+	case baseOpImm32:
+		in.Rd, in.Rs1 = rd, rs1
+		switch f3 {
+		case 0:
+			in.Op, in.Imm = OpADDIW, immI(w)
+		case 1:
+			in.Op, in.Imm = OpSLLIW, int64(rs2)
+		case 5:
+			if f7 == 0x20 {
+				in.Op = OpSRAIW
+			} else {
+				in.Op = OpSRLIW
+			}
+			in.Imm = int64(rs2)
+		}
+	case baseOp:
+		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+		in.Op = lookupR(opRegSpec, f3, f7)
+	case baseOp32:
+		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+		in.Op = lookupR(op32RegSpec, f3, f7)
+	case baseMiscMem:
+		in.Op = OpFENCE
+	case baseSystem:
+		if f3 == 0 {
+			switch w >> 20 {
+			case 0:
+				in.Op = OpECALL
+			case 1:
+				in.Op = OpEBREAK
+			case 0x302:
+				in.Op = OpMRET
+			case 0x105:
+				in.Op = OpWFI
+			}
+		} else {
+			in.Op, in.Rd, in.Rs1, in.CSR = csrOps[f3], rd, rs1, uint16(w>>20)
+		}
+	case baseAMO:
+		if f3 == 3 {
+			f5 := f7 >> 2
+			for op, v := range amoFunct5 {
+				if v == f5 {
+					in.Op, in.Rd, in.Rs1, in.Rs2 = op, rd, rs1, rs2
+					break
+				}
+			}
+		}
+	case baseLoadFP:
+		if f3 == 3 {
+			in.Op, in.Rd, in.Rs1, in.Imm = OpFLD, rd, rs1, immI(w)
+		}
+	case baseStoreFP:
+		if f3 == 3 {
+			in.Op, in.Rs1, in.Rs2, in.Imm = OpFSD, rs1, rs2, immS(w)
+		}
+	case baseOpFP:
+		for op, v := range fpFunct7 {
+			if v == f7 {
+				in.Op, in.Rd, in.Rs1, in.Rs2 = op, rd, rs1, rs2
+				break
+			}
+		}
+	case baseCustom1:
+		in.Rd, in.Rs1, in.Rs2 = rd, rs1, rs2
+		switch f3 {
+		case 0:
+			in.Op = OpVADDVV
+		case 1:
+			in.Op = OpVXORVV
+		case 2:
+			in.Op = OpVANDVV
+		case 3:
+			in.Op, in.Imm = OpVLE, immI(w)
+		case 4:
+			in.Op, in.Imm = OpVSE, immS(w)
+		case 5:
+			in.Op = OpVMVVX
+		case 6:
+			in.Op, in.Imm = OpVSETVLI, immI(w)
+		}
+	case baseCustom0:
+		switch f3 {
+		case 0:
+			in.Op, in.Rd, in.Rs1, in.Imm = OpHLVD, rd, rs1, immI(w)
+		case 1:
+			in.Op, in.Rs1, in.Rs2, in.Imm = OpHSVD, rs1, rs2, immS(w)
+		}
+	}
+
+	if in.Op == OpInvalid {
+		return in, fmt.Errorf("isa: illegal instruction %#08x", w)
+	}
+	return in, nil
+}
+
+func lookupR(m map[Opcode]rSpec, f3, f7 uint32) Opcode {
+	for op, s := range m {
+		if s.f3 == f3 && s.f7 == f7 {
+			return op
+		}
+	}
+	return OpInvalid
+}
+
+// Disassemble renders in as assembler text.
+func Disassemble(in Inst) string {
+	op := in.Op
+	switch {
+	case op == OpLUI || op == OpAUIPC:
+		return fmt.Sprintf("%s %s, %#x", op, RegName(in.Rd), uint64(in.Imm)>>12&0xFFFFF)
+	case op == OpJAL:
+		return fmt.Sprintf("%s %s, %d", op, RegName(in.Rd), in.Imm)
+	case op == OpJALR:
+		return fmt.Sprintf("%s %s, %d(%s)", op, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+	case ClassOf(op) == ClassBranch:
+		return fmt.Sprintf("%s %s, %s, %d", op, RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+	case ClassOf(op) == ClassLoad || op == OpHLVD:
+		return fmt.Sprintf("%s %s, %d(%s)", op, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+	case ClassOf(op) == ClassStore || op == OpHSVD:
+		return fmt.Sprintf("%s %s, %d(%s)", op, RegName(in.Rs2), in.Imm, RegName(in.Rs1))
+	case op == OpFLD:
+		return fmt.Sprintf("%s f%d, %d(%s)", op, in.Rd, in.Imm, RegName(in.Rs1))
+	case op == OpFSD:
+		return fmt.Sprintf("%s f%d, %d(%s)", op, in.Rs2, in.Imm, RegName(in.Rs1))
+	case ClassOf(op) == ClassCSR:
+		return fmt.Sprintf("%s %s, %s, %s", op, RegName(in.Rd), CSRName(in.CSR), RegName(in.Rs1))
+	case ClassOf(op) == ClassSystem:
+		return op.String()
+	case ClassOf(op) == ClassVector || ClassOf(op) == ClassVecLoad || ClassOf(op) == ClassVecStore:
+		return fmt.Sprintf("%s v%d, v%d, v%d", op, in.Rd, in.Rs1, in.Rs2)
+	default:
+		if _, imm := opImmFunct3[op]; imm || op == OpSLLI || op == OpSRLI || op == OpSRAI ||
+			op == OpADDIW || op == OpSLLIW || op == OpSRLIW || op == OpSRAIW {
+			return fmt.Sprintf("%s %s, %s, %d", op, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", op, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	}
+}

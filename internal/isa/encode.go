@@ -1,0 +1,213 @@
+package isa
+
+import "fmt"
+
+// Base opcode fields (bits [6:0] of an encoded instruction).
+const (
+	baseLUI     = 0x37
+	baseAUIPC   = 0x17
+	baseJAL     = 0x6F
+	baseJALR    = 0x67
+	baseBranch  = 0x63
+	baseLoad    = 0x03
+	baseStore   = 0x23
+	baseOpImm   = 0x13
+	baseOp      = 0x33
+	baseOpImm32 = 0x1B
+	baseOp32    = 0x3B
+	baseMiscMem = 0x0F
+	baseSystem  = 0x73
+	baseAMO     = 0x2F
+	baseLoadFP  = 0x07
+	baseStoreFP = 0x27
+	baseOpFP    = 0x53
+	baseCustom0 = 0x0B // hypervisor subset
+	baseCustom1 = 0x2B // vector subset
+)
+
+func rType(base, f3, f7 uint32, rd, rs1, rs2 uint8) uint32 {
+	return base | uint32(rd)<<7 | f3<<12 | uint32(rs1)<<15 | uint32(rs2)<<20 | f7<<25
+}
+
+func iType(base, f3 uint32, rd, rs1 uint8, imm int64) uint32 {
+	return base | uint32(rd)<<7 | f3<<12 | uint32(rs1)<<15 | (uint32(imm)&0xFFF)<<20
+}
+
+func sType(base, f3 uint32, rs1, rs2 uint8, imm int64) uint32 {
+	v := uint32(imm)
+	return base | (v&0x1F)<<7 | f3<<12 | uint32(rs1)<<15 | uint32(rs2)<<20 | (v>>5&0x7F)<<25
+}
+
+func bType(base, f3 uint32, rs1, rs2 uint8, imm int64) uint32 {
+	v := uint32(imm)
+	return base | f3<<12 | uint32(rs1)<<15 | uint32(rs2)<<20 |
+		(v>>11&1)<<7 | (v>>1&0xF)<<8 | (v>>5&0x3F)<<25 | (v>>12&1)<<31
+}
+
+func uType(base uint32, rd uint8, imm int64) uint32 {
+	return base | uint32(rd)<<7 | uint32(imm)&0xFFFFF000
+}
+
+func jType(base uint32, rd uint8, imm int64) uint32 {
+	v := uint32(imm)
+	return base | uint32(rd)<<7 |
+		(v>>12&0xFF)<<12 | (v>>11&1)<<20 | (v>>1&0x3FF)<<21 | (v>>20&1)<<31
+}
+
+// branchFunct3 and loadFunct3 map opcodes to funct3 values within their base
+// opcode group.
+var branchFunct3 = map[Opcode]uint32{
+	OpBEQ: 0, OpBNE: 1, OpBLT: 4, OpBGE: 5, OpBLTU: 6, OpBGEU: 7,
+}
+
+var loadFunct3 = map[Opcode]uint32{
+	OpLB: 0, OpLH: 1, OpLW: 2, OpLD: 3, OpLBU: 4, OpLHU: 5, OpLWU: 6,
+}
+
+var storeFunct3 = map[Opcode]uint32{
+	OpSB: 0, OpSH: 1, OpSW: 2, OpSD: 3,
+}
+
+var opImmFunct3 = map[Opcode]uint32{
+	OpADDI: 0, OpSLTI: 2, OpSLTIU: 3, OpXORI: 4, OpORI: 6, OpANDI: 7,
+}
+
+type rSpec struct{ f3, f7 uint32 }
+
+var opRegSpec = map[Opcode]rSpec{
+	OpADD: {0, 0x00}, OpSUB: {0, 0x20}, OpSLL: {1, 0x00}, OpSLT: {2, 0x00},
+	OpSLTU: {3, 0x00}, OpXOR: {4, 0x00}, OpSRL: {5, 0x00}, OpSRA: {5, 0x20},
+	OpOR: {6, 0x00}, OpAND: {7, 0x00},
+	OpMUL: {0, 0x01}, OpMULH: {1, 0x01}, OpMULHSU: {2, 0x01}, OpMULHU: {3, 0x01},
+	OpDIV: {4, 0x01}, OpDIVU: {5, 0x01}, OpREM: {6, 0x01}, OpREMU: {7, 0x01},
+}
+
+var op32RegSpec = map[Opcode]rSpec{
+	OpADDW: {0, 0x00}, OpSUBW: {0, 0x20}, OpSLLW: {1, 0x00},
+	OpSRLW: {5, 0x00}, OpSRAW: {5, 0x20},
+	OpMULW: {0, 0x01}, OpDIVW: {4, 0x01}, OpDIVUW: {5, 0x01},
+	OpREMW: {6, 0x01}, OpREMUW: {7, 0x01},
+}
+
+var csrFunct3 = map[Opcode]uint32{
+	OpCSRRW: 1, OpCSRRS: 2, OpCSRRC: 3, OpCSRRWI: 5, OpCSRRSI: 6, OpCSRRCI: 7,
+}
+
+var amoFunct5 = map[Opcode]uint32{
+	OpLRD: 0x02, OpSCD: 0x03, OpAMOSWAPD: 0x01, OpAMOADDD: 0x00,
+	OpAMOXORD: 0x04, OpAMOANDD: 0x0C, OpAMOORD: 0x08,
+}
+
+var fpFunct7 = map[Opcode]uint32{
+	OpFADDD: 0x01, OpFSUBD: 0x05, OpFMULD: 0x09, OpFSGNJD: 0x11,
+	OpFMVXD: 0x71, OpFMVDX: 0x79,
+}
+
+var vecFunct3 = map[Opcode]uint32{
+	OpVADDVV: 0, OpVXORVV: 1, OpVANDVV: 2, OpVLE: 3, OpVSE: 4, OpVMVVX: 5, OpVSETVLI: 6,
+}
+
+// Encode assembles a decoded instruction into its 32-bit machine encoding.
+// It is the inverse of Decode for every valid instruction.
+func Encode(in Inst) (uint32, error) {
+	switch {
+	case in.Op == OpLUI:
+		return uType(baseLUI, in.Rd, in.Imm), nil
+	case in.Op == OpAUIPC:
+		return uType(baseAUIPC, in.Rd, in.Imm), nil
+	case in.Op == OpJAL:
+		return jType(baseJAL, in.Rd, in.Imm), nil
+	case in.Op == OpJALR:
+		return iType(baseJALR, 0, in.Rd, in.Rs1, in.Imm), nil
+	}
+	if f3, ok := branchFunct3[in.Op]; ok {
+		return bType(baseBranch, f3, in.Rs1, in.Rs2, in.Imm), nil
+	}
+	if f3, ok := loadFunct3[in.Op]; ok {
+		return iType(baseLoad, f3, in.Rd, in.Rs1, in.Imm), nil
+	}
+	if f3, ok := storeFunct3[in.Op]; ok {
+		return sType(baseStore, f3, in.Rs1, in.Rs2, in.Imm), nil
+	}
+	if f3, ok := opImmFunct3[in.Op]; ok {
+		return iType(baseOpImm, f3, in.Rd, in.Rs1, in.Imm), nil
+	}
+	switch in.Op {
+	case OpSLLI:
+		return iType(baseOpImm, 1, in.Rd, in.Rs1, in.Imm&0x3F), nil
+	case OpSRLI:
+		return iType(baseOpImm, 5, in.Rd, in.Rs1, in.Imm&0x3F), nil
+	case OpSRAI:
+		return iType(baseOpImm, 5, in.Rd, in.Rs1, in.Imm&0x3F|0x400), nil
+	case OpADDIW:
+		return iType(baseOpImm32, 0, in.Rd, in.Rs1, in.Imm), nil
+	case OpSLLIW:
+		return iType(baseOpImm32, 1, in.Rd, in.Rs1, in.Imm&0x1F), nil
+	case OpSRLIW:
+		return iType(baseOpImm32, 5, in.Rd, in.Rs1, in.Imm&0x1F), nil
+	case OpSRAIW:
+		return iType(baseOpImm32, 5, in.Rd, in.Rs1, in.Imm&0x1F|0x400), nil
+	}
+	if s, ok := opRegSpec[in.Op]; ok {
+		return rType(baseOp, s.f3, s.f7, in.Rd, in.Rs1, in.Rs2), nil
+	}
+	if s, ok := op32RegSpec[in.Op]; ok {
+		return rType(baseOp32, s.f3, s.f7, in.Rd, in.Rs1, in.Rs2), nil
+	}
+	if f3, ok := csrFunct3[in.Op]; ok {
+		return iType(baseSystem, f3, in.Rd, in.Rs1, int64(in.CSR)), nil
+	}
+	switch in.Op {
+	case OpFENCE:
+		return iType(baseMiscMem, 0, 0, 0, 0), nil
+	case OpECALL:
+		return iType(baseSystem, 0, 0, 0, 0), nil
+	case OpEBREAK:
+		return iType(baseSystem, 0, 0, 0, 1), nil
+	case OpMRET:
+		return iType(baseSystem, 0, 0, 0, 0x302), nil
+	case OpWFI:
+		return iType(baseSystem, 0, 0, 0, 0x105), nil
+	}
+	if f5, ok := amoFunct5[in.Op]; ok {
+		return rType(baseAMO, 3, f5<<2, in.Rd, in.Rs1, in.Rs2), nil
+	}
+	switch in.Op {
+	case OpFLD:
+		return iType(baseLoadFP, 3, in.Rd, in.Rs1, in.Imm), nil
+	case OpFSD:
+		return sType(baseStoreFP, 3, in.Rs1, in.Rs2, in.Imm), nil
+	}
+	if f7, ok := fpFunct7[in.Op]; ok {
+		return rType(baseOpFP, 0, f7, in.Rd, in.Rs1, in.Rs2), nil
+	}
+	if f3, ok := vecFunct3[in.Op]; ok {
+		switch in.Op {
+		case OpVSETVLI:
+			return iType(baseCustom1, f3, in.Rd, in.Rs1, in.Imm), nil
+		case OpVLE:
+			return iType(baseCustom1, f3, in.Rd, in.Rs1, in.Imm), nil
+		case OpVSE:
+			return sType(baseCustom1, f3, in.Rs1, in.Rs2, in.Imm), nil
+		default:
+			return rType(baseCustom1, f3, 0, in.Rd, in.Rs1, in.Rs2), nil
+		}
+	}
+	switch in.Op {
+	case OpHLVD:
+		return iType(baseCustom0, 0, in.Rd, in.Rs1, in.Imm), nil
+	case OpHSVD:
+		return sType(baseCustom0, 1, in.Rs1, in.Rs2, in.Imm), nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode %v", in.Op)
+}
+
+// MustEncode is like Encode but panics on error; it is intended for use by
+// generators whose opcode sets are known valid.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,344 @@
+// Package isa defines the instruction set architecture simulated by both the
+// design under test (internal/dut) and the reference model (internal/ref).
+//
+// The ISA is a practical subset of RV64: the I and M base extensions,
+// Zicsr, a minimal D floating-point subset, LR/SC and AMO atomics, and a
+// compact custom-encoded vector and hypervisor extension that stand in for
+// RVV and the H extension. The subset is chosen so that every one of the 32
+// verification event types of the DiffTest-H paper (Table 1) has at least one
+// instruction that produces it.
+package isa
+
+import "fmt"
+
+// XLen is the register width in bits.
+const XLen = 64
+
+// VLenBytes is the vector register width in bytes (VLEN = 256 bits).
+const VLenBytes = 32
+
+// NumVRegs is the number of architectural vector registers.
+const NumVRegs = 32
+
+// Opcode identifies a decoded instruction operation.
+type Opcode uint8
+
+// Operations. Grouped by extension; the order is stable and part of the
+// package API (trace files record opcodes numerically).
+const (
+	OpInvalid Opcode = iota
+
+	// RV64I: upper immediates and jumps.
+	OpLUI
+	OpAUIPC
+	OpJAL
+	OpJALR
+
+	// RV64I: conditional branches.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// RV64I: loads.
+	OpLB
+	OpLH
+	OpLW
+	OpLD
+	OpLBU
+	OpLHU
+	OpLWU
+
+	// RV64I: stores.
+	OpSB
+	OpSH
+	OpSW
+	OpSD
+
+	// RV64I: register-immediate ALU.
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+
+	// RV64I: register-register ALU.
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+
+	// RV64I: 32-bit word ALU.
+	OpADDIW
+	OpSLLIW
+	OpSRLIW
+	OpSRAIW
+	OpADDW
+	OpSUBW
+	OpSLLW
+	OpSRLW
+	OpSRAW
+
+	// RV64M.
+	OpMUL
+	OpMULH
+	OpMULHSU
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+	OpMULW
+	OpDIVW
+	OpDIVUW
+	OpREMW
+	OpREMUW
+
+	// Zicsr.
+	OpCSRRW
+	OpCSRRS
+	OpCSRRC
+	OpCSRRWI
+	OpCSRRSI
+	OpCSRRCI
+
+	// System.
+	OpFENCE
+	OpECALL
+	OpEBREAK
+	OpMRET
+	OpWFI
+
+	// RV64A: load-reserved / store-conditional and AMOs (D-width only).
+	OpLRD
+	OpSCD
+	OpAMOSWAPD
+	OpAMOADDD
+	OpAMOXORD
+	OpAMOANDD
+	OpAMOORD
+
+	// RV64D subset: enough to exercise FP register and FP CSR events.
+	OpFLD
+	OpFSD
+	OpFADDD
+	OpFSUBD
+	OpFMULD
+	OpFMVXD // fmv.x.d
+	OpFMVDX // fmv.d.x
+	OpFSGNJD
+
+	// Custom vector extension (stands in for RVV; custom-1 opcode space).
+	OpVSETVLI
+	OpVADDVV
+	OpVXORVV
+	OpVANDVV
+	OpVLE
+	OpVSE
+	OpVMVVX
+
+	// Custom hypervisor extension (stands in for the H extension).
+	OpHLVD // hypervisor load via guest-stage translation
+	OpHSVD // hypervisor store via guest-stage translation
+
+	numOpcodes
+)
+
+// NumOpcodes is the count of defined opcodes (excluding OpInvalid).
+const NumOpcodes = int(numOpcodes) - 1
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpLUI:     "lui", OpAUIPC: "auipc", OpJAL: "jal", OpJALR: "jalr",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge", OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLD: "ld", OpLBU: "lbu", OpLHU: "lhu", OpLWU: "lwu",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw", OpSD: "sd",
+	OpADDI: "addi", OpSLTI: "slti", OpSLTIU: "sltiu", OpXORI: "xori", OpORI: "ori", OpANDI: "andi",
+	OpSLLI: "slli", OpSRLI: "srli", OpSRAI: "srai",
+	OpADD: "add", OpSUB: "sub", OpSLL: "sll", OpSLT: "slt", OpSLTU: "sltu",
+	OpXOR: "xor", OpSRL: "srl", OpSRA: "sra", OpOR: "or", OpAND: "and",
+	OpADDIW: "addiw", OpSLLIW: "slliw", OpSRLIW: "srliw", OpSRAIW: "sraiw",
+	OpADDW: "addw", OpSUBW: "subw", OpSLLW: "sllw", OpSRLW: "srlw", OpSRAW: "sraw",
+	OpMUL: "mul", OpMULH: "mulh", OpMULHSU: "mulhsu", OpMULHU: "mulhu",
+	OpDIV: "div", OpDIVU: "divu", OpREM: "rem", OpREMU: "remu",
+	OpMULW: "mulw", OpDIVW: "divw", OpDIVUW: "divuw", OpREMW: "remw", OpREMUW: "remuw",
+	OpCSRRW: "csrrw", OpCSRRS: "csrrs", OpCSRRC: "csrrc",
+	OpCSRRWI: "csrrwi", OpCSRRSI: "csrrsi", OpCSRRCI: "csrrci",
+	OpFENCE: "fence", OpECALL: "ecall", OpEBREAK: "ebreak", OpMRET: "mret", OpWFI: "wfi",
+	OpLRD: "lr.d", OpSCD: "sc.d", OpAMOSWAPD: "amoswap.d", OpAMOADDD: "amoadd.d",
+	OpAMOXORD: "amoxor.d", OpAMOANDD: "amoand.d", OpAMOORD: "amoor.d",
+	OpFLD: "fld", OpFSD: "fsd", OpFADDD: "fadd.d", OpFSUBD: "fsub.d", OpFMULD: "fmul.d",
+	OpFMVXD: "fmv.x.d", OpFMVDX: "fmv.d.x", OpFSGNJD: "fsgnj.d",
+	OpVSETVLI: "vsetvli", OpVADDVV: "vadd.vv", OpVXORVV: "vxor.vv", OpVANDVV: "vand.vv",
+	OpVLE: "vle64.v", OpVSE: "vse64.v", OpVMVVX: "vmv.v.x",
+	OpHLVD: "hlv.d", OpHSVD: "hsv.d",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Op  Opcode
+	Rd  uint8  // destination register (integer, FP, or vector depending on Op)
+	Rs1 uint8  // first source register
+	Rs2 uint8  // second source register
+	Imm int64  // sign-extended immediate
+	CSR uint16 // CSR address for Zicsr operations
+	Raw uint32 // original encoding
+}
+
+func (i Inst) String() string { return Disassemble(i) }
+
+// Class describes the coarse functional class of an opcode, used by the DUT
+// timing model and the workload generator.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassBranch
+	ClassJump
+	ClassLoad
+	ClassStore
+	ClassMulDiv
+	ClassCSR
+	ClassSystem
+	ClassAtomic
+	ClassFP
+	ClassFPLoad
+	ClassFPStore
+	ClassVector
+	ClassVecLoad
+	ClassVecStore
+	ClassHypLoad
+	ClassHypStore
+)
+
+// ClassOf reports the functional class of op.
+func ClassOf(op Opcode) Class {
+	switch op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return ClassBranch
+	case OpJAL, OpJALR:
+		return ClassJump
+	case OpLB, OpLH, OpLW, OpLD, OpLBU, OpLHU, OpLWU:
+		return ClassLoad
+	case OpSB, OpSH, OpSW, OpSD:
+		return ClassStore
+	case OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU,
+		OpMULW, OpDIVW, OpDIVUW, OpREMW, OpREMUW:
+		return ClassMulDiv
+	case OpCSRRW, OpCSRRS, OpCSRRC, OpCSRRWI, OpCSRRSI, OpCSRRCI:
+		return ClassCSR
+	case OpFENCE, OpECALL, OpEBREAK, OpMRET, OpWFI:
+		return ClassSystem
+	case OpLRD, OpSCD, OpAMOSWAPD, OpAMOADDD, OpAMOXORD, OpAMOANDD, OpAMOORD:
+		return ClassAtomic
+	case OpFADDD, OpFSUBD, OpFMULD, OpFMVXD, OpFMVDX, OpFSGNJD:
+		return ClassFP
+	case OpFLD:
+		return ClassFPLoad
+	case OpFSD:
+		return ClassFPStore
+	case OpVSETVLI, OpVADDVV, OpVXORVV, OpVANDVV, OpVMVVX:
+		return ClassVector
+	case OpVLE:
+		return ClassVecLoad
+	case OpVSE:
+		return ClassVecStore
+	case OpHLVD:
+		return ClassHypLoad
+	case OpHSVD:
+		return ClassHypStore
+	}
+	return ClassALU
+}
+
+// IsMemAccess reports whether op reads or writes data memory.
+func IsMemAccess(op Opcode) bool {
+	switch ClassOf(op) {
+	case ClassLoad, ClassStore, ClassAtomic, ClassFPLoad, ClassFPStore,
+		ClassVecLoad, ClassVecStore, ClassHypLoad, ClassHypStore:
+		return true
+	}
+	return false
+}
+
+// MemSize returns the access width in bytes for memory opcodes, or 0.
+func MemSize(op Opcode) int {
+	switch op {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLW, OpLWU, OpSW:
+		return 4
+	case OpLD, OpSD, OpFLD, OpFSD, OpLRD, OpSCD,
+		OpAMOSWAPD, OpAMOADDD, OpAMOXORD, OpAMOANDD, OpAMOORD, OpHLVD, OpHSVD:
+		return 8
+	case OpVLE, OpVSE:
+		return VLenBytes
+	}
+	return 0
+}
+
+// WritesIntReg reports whether op writes an integer destination register.
+func WritesIntReg(op Opcode) bool {
+	switch ClassOf(op) {
+	case ClassALU, ClassJump, ClassLoad, ClassMulDiv, ClassCSR, ClassAtomic, ClassHypLoad:
+		return op != OpFENCE
+	case ClassFP:
+		return op == OpFMVXD
+	}
+	return false
+}
+
+// WritesFpReg reports whether op writes a floating-point register.
+func WritesFpReg(op Opcode) bool {
+	switch op {
+	case OpFLD, OpFADDD, OpFSUBD, OpFMULD, OpFMVDX, OpFSGNJD:
+		return true
+	}
+	return false
+}
+
+// WritesVecReg reports whether op writes a vector register.
+func WritesVecReg(op Opcode) bool {
+	switch op {
+	case OpVADDVV, OpVXORVV, OpVANDVV, OpVLE, OpVMVVX:
+		return true
+	}
+	return false
+}
+
+// RegName returns the ABI name of integer register r.
+func RegName(r uint8) string {
+	names := [...]string{
+		"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+		"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+		"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+		"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+	}
+	if int(r) < len(names) {
+		return names[r]
+	}
+	return fmt.Sprintf("x%d", r)
+}

@@ -1,0 +1,261 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// immRange returns the representable immediate span for op's format.
+func immFor(op Opcode, r *rand.Rand) int64 {
+	switch op {
+	case OpLUI, OpAUIPC:
+		return int64(int32(r.Uint32())) &^ 0xFFF
+	case OpJAL:
+		return (r.Int63n(1<<20) - 1<<19) &^ 1
+	case OpSLLI, OpSRLI, OpSRAI:
+		return r.Int63n(64)
+	case OpSLLIW, OpSRLIW, OpSRAIW:
+		return r.Int63n(32)
+	default:
+		switch ClassOf(op) {
+		case ClassBranch:
+			return (r.Int63n(1<<12) - 1<<11) &^ 1
+		default:
+			return r.Int63n(1<<12) - 1<<11
+		}
+	}
+}
+
+func randInst(r *rand.Rand) Inst {
+	for {
+		op := Opcode(1 + r.Intn(NumOpcodes))
+		in := Inst{
+			Op:  op,
+			Rd:  uint8(r.Intn(32)),
+			Rs1: uint8(r.Intn(32)),
+			Rs2: uint8(r.Intn(32)),
+			Imm: immFor(op, r),
+		}
+		if ClassOf(op) == ClassCSR {
+			in.CSR = KnownCSRs[r.Intn(len(KnownCSRs))]
+		}
+		return in
+	}
+}
+
+// normalize zeroes fields that a given format does not encode so that a
+// round-trip comparison is meaningful.
+func normalize(in Inst) Inst {
+	in.Raw = 0
+	switch in.Op {
+	case OpLUI, OpAUIPC, OpJAL:
+		in.Rs1, in.Rs2 = 0, 0
+	case OpJALR:
+		in.Rs2 = 0
+	case OpFENCE, OpECALL, OpEBREAK, OpMRET, OpWFI:
+		in.Rd, in.Rs1, in.Rs2, in.Imm = 0, 0, 0, 0
+	case OpFLD, OpVLE, OpHLVD, OpVSETVLI:
+		in.Rs2 = 0
+	case OpFSD, OpVSE, OpHSVD:
+		in.Rd = 0
+	case OpSLLIW, OpSRLIW, OpSRAIW,
+		OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI,
+		OpSLLI, OpSRLI, OpSRAI, OpADDIW:
+		in.Rs2 = 0
+	}
+	switch ClassOf(in.Op) {
+	case ClassBranch:
+		in.Rd = 0
+	case ClassLoad:
+		in.Rs2 = 0
+	case ClassStore:
+		in.Rd = 0
+	case ClassCSR:
+		in.Rs2, in.Imm = 0, 0
+	}
+	switch in.Op {
+	case OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR, OpAND,
+		OpADDW, OpSUBW, OpSLLW, OpSRLW, OpSRAW,
+		OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU,
+		OpMULW, OpDIVW, OpDIVUW, OpREMW, OpREMUW,
+		OpFADDD, OpFSUBD, OpFMULD, OpFSGNJD, OpFMVXD, OpFMVDX,
+		OpVADDVV, OpVXORVV, OpVANDVV, OpVMVVX,
+		OpLRD, OpSCD, OpAMOSWAPD, OpAMOADDD, OpAMOXORD, OpAMOANDD, OpAMOORD:
+		in.Imm = 0
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		want := normalize(randInst(r))
+		w, err := Encode(want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %v (%#08x): %v", want.Op, w, err)
+		}
+		got = normalize(got)
+		if got != want {
+			t.Fatalf("round trip mismatch:\n  in:  %+v\n  out: %+v\n  word %#08x", want, got, w)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []uint32{0x00000000, 0xFFFFFFFF, 0x0000007F}
+	for _, w := range bad {
+		if in, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) = %v, want error", w, in)
+		}
+	}
+}
+
+func TestDecodeKnownEncodings(t *testing.T) {
+	// Cross-checked against the RISC-V spec: addi x1, x2, 42.
+	in, err := Decode(0x02A10093)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != OpADDI || in.Rd != 1 || in.Rs1 != 2 || in.Imm != 42 {
+		t.Errorf("addi decode = %+v", in)
+	}
+	// beq x5, x6, -8
+	w := MustEncode(Inst{Op: OpBEQ, Rs1: 5, Rs2: 6, Imm: -8})
+	in, err = Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != -8 {
+		t.Errorf("beq imm = %d, want -8", in.Imm)
+	}
+	// ecall
+	in, err = Decode(0x00000073)
+	if err != nil || in.Op != OpECALL {
+		t.Errorf("ecall decode = %+v, %v", in, err)
+	}
+	// mret
+	in, err = Decode(0x30200073)
+	if err != nil || in.Op != OpMRET {
+		t.Errorf("mret decode = %+v, %v", in, err)
+	}
+}
+
+func TestImmediateSignExtension(t *testing.T) {
+	w := MustEncode(Inst{Op: OpADDI, Rd: 1, Rs1: 1, Imm: -1})
+	in, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != -1 {
+		t.Errorf("addi -1 round-trips to %d", in.Imm)
+	}
+	w = MustEncode(Inst{Op: OpJAL, Rd: 0, Imm: -1 << 19})
+	in, err = Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != -1<<19 {
+		t.Errorf("jal min imm round-trips to %d", in.Imm)
+	}
+}
+
+func TestClassPredicatesConsistent(t *testing.T) {
+	for op := Opcode(1); int(op) <= NumOpcodes; op++ {
+		if IsMemAccess(op) && MemSize(op) == 0 {
+			t.Errorf("%v: IsMemAccess but MemSize==0", op)
+		}
+		if !IsMemAccess(op) && MemSize(op) != 0 {
+			t.Errorf("%v: MemSize=%d but not a mem access", op, MemSize(op))
+		}
+		n := 0
+		if WritesIntReg(op) {
+			n++
+		}
+		if WritesFpReg(op) {
+			n++
+		}
+		if WritesVecReg(op) {
+			n++
+		}
+		if n > 1 {
+			t.Errorf("%v writes more than one register file", op)
+		}
+	}
+}
+
+func TestEveryOpcodeHasName(t *testing.T) {
+	for op := Opcode(1); int(op) <= NumOpcodes; op++ {
+		if op.String() == "" || op.String()[0] == 'o' && op.String()[1] == 'p' {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestCSRTableConsistent(t *testing.T) {
+	seen := map[uint16]bool{}
+	for _, c := range KnownCSRs {
+		if seen[c] {
+			t.Errorf("duplicate CSR %#x", c)
+		}
+		seen[c] = true
+		if !IsKnownCSR(c) {
+			t.Errorf("CSR %#x in KnownCSRs but not named", c)
+		}
+	}
+	if len(KnownCSRs) < 30 {
+		t.Errorf("expected a rich CSR set, got %d", len(KnownCSRs))
+	}
+}
+
+// Property: immediates always round-trip through B-format encodings for any
+// even 13-bit-signed value.
+func TestQuickBranchImm(t *testing.T) {
+	f := func(raw int16) bool {
+		imm := int64(raw) &^ 1 // B-format encodes even offsets of 13 signed bits
+		if imm < -4096 || imm > 4094 {
+			imm %= 4096
+			imm &^= 1
+		}
+		w := MustEncode(Inst{Op: OpBNE, Rs1: 3, Rs2: 4, Imm: imm})
+		in, err := Decode(w)
+		return err == nil && in.Imm == imm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADDI, Rd: 10, Rs1: 0, Imm: 5},
+		{Op: OpLD, Rd: 1, Rs1: 2, Imm: 16},
+		{Op: OpSD, Rs1: 2, Rs2: 3, Imm: -8},
+		{Op: OpCSRRW, Rd: 1, Rs1: 2, CSR: CSRMstatus},
+		{Op: OpVADDVV, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpECALL},
+	}
+	for _, in := range cases {
+		if s := Disassemble(in); s == "" {
+			t.Errorf("empty disassembly for %+v", in)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	words := make([]uint32, 1024)
+	for i := range words {
+		words[i] = MustEncode(normalize(randInst(r)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(words[i%len(words)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

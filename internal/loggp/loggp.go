@@ -1,0 +1,71 @@
+// Package loggp implements the analytical communication-overhead model of
+// paper §3, inspired by LogGP: the overhead of hardware-accelerated
+// co-simulation decomposes into communication startup, data transmission,
+// and software processing (Equation 1):
+//
+//	Overhead = N_invokes × T_sync + N_bytes / BW + T_software
+package loggp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inputs are the measured quantities the model consumes.
+type Inputs struct {
+	Invokes uint64  // number of hardware-software communication startups
+	Bytes   uint64  // total transmitted payload bytes
+	TSync   float64 // per-invocation synchronization latency (s)
+	BWBps   float64 // link bandwidth (bytes/s)
+	TSw     float64 // total software processing time (s)
+}
+
+// Breakdown is the three-phase overhead decomposition (Figure 2).
+type Breakdown struct {
+	Startup      float64 // N_invokes × T_sync (s)
+	Transmission float64 // N_bytes / BW (s)
+	Software     float64 // T_software (s)
+}
+
+// Model evaluates Equation 1.
+func Model(in Inputs) Breakdown {
+	b := Breakdown{
+		Startup:  float64(in.Invokes) * in.TSync,
+		Software: in.TSw,
+	}
+	if in.BWBps > 0 {
+		b.Transmission = float64(in.Bytes) / in.BWBps
+	}
+	return b
+}
+
+// Total returns the summed overhead in seconds.
+func (b Breakdown) Total() float64 { return b.Startup + b.Transmission + b.Software }
+
+// Shares returns each phase as a fraction of the total (0 if no overhead).
+func (b Breakdown) Shares() (startup, transmission, software float64) {
+	t := b.Total()
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return b.Startup / t, b.Transmission / t, b.Software / t
+}
+
+// OverheadShare returns the fraction of total co-simulation time spent on
+// communication, given the pure DUT emulation time.
+func (b Breakdown) OverheadShare(dutTime float64) float64 {
+	t := b.Total()
+	if t+dutTime == 0 {
+		return 0
+	}
+	return t / (t + dutTime)
+}
+
+// String renders the breakdown as a Figure-2-style row.
+func (b Breakdown) String() string {
+	s, tr, sw := b.Shares()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "startup %5.1f%%  transmission %5.1f%%  software %5.1f%%  (total %.3g s)",
+		s*100, tr*100, sw*100, b.Total())
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package loggp
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquationOne(t *testing.T) {
+	// 15 invokes × 8.5µs + 1200B / 100MB/s + 13µs software (the paper's
+	// XiangShan-on-Palladium baseline operating point, per cycle).
+	b := Model(Inputs{Invokes: 15, Bytes: 1200, TSync: 8.5e-6, BWBps: 100e6, TSw: 13e-6})
+	if math.Abs(b.Startup-127.5e-6) > 1e-12 {
+		t.Errorf("startup = %g", b.Startup)
+	}
+	if math.Abs(b.Transmission-12e-6) > 1e-12 {
+		t.Errorf("transmission = %g", b.Transmission)
+	}
+	if math.Abs(b.Total()-(127.5e-6+12e-6+13e-6)) > 1e-12 {
+		t.Errorf("total = %g", b.Total())
+	}
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	f := func(inv uint16, bytes uint32, sw uint16) bool {
+		b := Model(Inputs{
+			Invokes: uint64(inv), Bytes: uint64(bytes),
+			TSync: 1e-6, BWBps: 1e8, TSw: float64(sw) * 1e-6,
+		})
+		if b.Total() == 0 {
+			s, tr, sw := b.Shares()
+			return s == 0 && tr == 0 && sw == 0
+		}
+		s, tr, sw2 := b.Shares()
+		return math.Abs(s+tr+sw2-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadShare(t *testing.T) {
+	b := Breakdown{Startup: 98e-6, Transmission: 0, Software: 0}
+	if got := b.OverheadShare(2e-6); math.Abs(got-0.98) > 1e-9 {
+		t.Errorf("overhead share = %v, want 0.98 (the paper's >98%%)", got)
+	}
+	var zero Breakdown
+	if zero.OverheadShare(0) != 0 {
+		t.Error("zero breakdown should have zero share")
+	}
+}
+
+func TestZeroBandwidth(t *testing.T) {
+	b := Model(Inputs{Invokes: 1, Bytes: 100, TSync: 1e-6, BWBps: 0, TSw: 0})
+	if b.Transmission != 0 {
+		t.Error("zero bandwidth should not divide")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	b := Model(Inputs{Invokes: 10, Bytes: 1000, TSync: 1e-6, BWBps: 1e6, TSw: 5e-6})
+	s := b.String()
+	if !strings.Contains(s, "startup") || !strings.Contains(s, "%") {
+		t.Errorf("rendering: %s", s)
+	}
+}

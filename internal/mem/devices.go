@@ -1,0 +1,169 @@
+package mem
+
+// Device is a memory-mapped peripheral on the DUT's bus. Loads from devices
+// are non-deterministic from the reference model's point of view.
+type Device interface {
+	// Load reads size bytes from the device-relative offset.
+	Load(off uint64, size int) uint64
+	// Store writes size bytes to the device-relative offset.
+	Store(off uint64, size int, val uint64)
+}
+
+// CLINT is a core-local interruptor: a cycle-driven timer and software
+// interrupt source. Reads of mtime depend on the DUT cycle count, making
+// them NDEs.
+type CLINT struct {
+	MTime    uint64
+	MTimeCmp uint64
+	MSIP     uint64
+}
+
+// CLINT register offsets.
+const (
+	clintMSIP     = 0x0000
+	clintMTimeCmp = 0x4000
+	clintMTime    = 0xBFF8
+)
+
+// Tick advances the timer by n time units.
+func (c *CLINT) Tick(n uint64) { c.MTime += n }
+
+// TimerPending reports whether the timer interrupt condition holds.
+func (c *CLINT) TimerPending() bool { return c.MTimeCmp != 0 && c.MTime >= c.MTimeCmp }
+
+// SoftwarePending reports whether a software interrupt is posted.
+func (c *CLINT) SoftwarePending() bool { return c.MSIP&1 != 0 }
+
+// Load implements Device.
+func (c *CLINT) Load(off uint64, size int) uint64 {
+	switch off {
+	case clintMSIP:
+		return c.MSIP
+	case clintMTimeCmp:
+		return c.MTimeCmp
+	case clintMTime:
+		return c.MTime
+	}
+	return 0
+}
+
+// Store implements Device.
+func (c *CLINT) Store(off uint64, size int, val uint64) {
+	switch off {
+	case clintMSIP:
+		c.MSIP = val & 1
+	case clintMTimeCmp:
+		c.MTimeCmp = val
+	}
+}
+
+// UART is a write-only console with a always-ready status register.
+type UART struct {
+	Out []byte // captured output
+}
+
+// UART register offsets.
+const (
+	uartData   = 0x0
+	uartStatus = 0x5
+)
+
+// Load implements Device.
+func (u *UART) Load(off uint64, size int) uint64 {
+	if off == uartStatus {
+		return 0x60 // transmitter empty + holding register empty
+	}
+	return 0
+}
+
+// Store implements Device.
+func (u *UART) Store(off uint64, size int, val uint64) {
+	if off == uartData {
+		u.Out = append(u.Out, byte(val))
+	}
+}
+
+// RNG is a free-running xorshift generator; every load draws a fresh value.
+// It is the canonical non-deterministic device: the reference model has no
+// way to predict its values, so each read must be synchronized as an NDE.
+type RNG struct {
+	State uint64
+}
+
+// Load implements Device.
+func (r *RNG) Load(off uint64, size int) uint64 {
+	if r.State == 0 {
+		r.State = 0x9E3779B97F4A7C15
+	}
+	r.State ^= r.State << 13
+	r.State ^= r.State >> 7
+	r.State ^= r.State << 17
+	return r.State
+}
+
+// Store implements Device.
+func (r *RNG) Store(off uint64, size int, val uint64) { r.State = val | 1 }
+
+// Exit is an HTIF-like power-off device. A store of 0 signals a good trap
+// (workload finished successfully); any other value is a bad trap.
+type Exit struct {
+	Fired bool
+	Code  uint64
+}
+
+// Load implements Device.
+func (e *Exit) Load(off uint64, size int) uint64 { return 0 }
+
+// Store implements Device.
+func (e *Exit) Store(off uint64, size int, val uint64) {
+	e.Fired = true
+	e.Code = val
+}
+
+// Bus routes physical addresses to RAM or devices.
+type Bus struct {
+	RAM   *Memory
+	CLINT *CLINT
+	UART  *UART
+	RNG   *RNG
+	Exit  *Exit
+}
+
+// NewBus wraps ram with a fresh device set.
+func NewBus(ram *Memory) *Bus {
+	return &Bus{RAM: ram, CLINT: &CLINT{}, UART: &UART{}, RNG: &RNG{}, Exit: &Exit{}}
+}
+
+func (b *Bus) device(addr uint64) (Device, uint64) {
+	switch {
+	case addr >= CLINTBase && addr < CLINTBase+CLINTSize:
+		return b.CLINT, addr - CLINTBase
+	case addr >= UARTBase && addr < UARTBase+UARTSize:
+		return b.UART, addr - UARTBase
+	case addr >= RNGBase && addr < RNGBase+RNGSize:
+		return b.RNG, addr - RNGBase
+	case addr >= ExitBase && addr < ExitBase+ExitSize:
+		return b.Exit, addr - ExitBase
+	}
+	return nil, 0
+}
+
+// Load reads size bytes at addr, dispatching to a device when addr is MMIO.
+// The second result reports whether the access hit a device.
+func (b *Bus) Load(addr uint64, size int) (uint64, bool) {
+	if d, off := b.device(addr); d != nil {
+		return d.Load(off, size), true
+	}
+	return b.RAM.Read(addr, size), false
+}
+
+// Store writes size bytes at addr, dispatching to a device when addr is MMIO.
+// The result reports whether the access hit a device.
+func (b *Bus) Store(addr uint64, size int, val uint64) bool {
+	if d, off := b.device(addr); d != nil {
+		d.Store(off, size, val)
+		return true
+	}
+	b.RAM.Write(addr, size, val)
+	return false
+}

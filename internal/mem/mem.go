@@ -1,0 +1,167 @@
+// Package mem provides the sparse physical memory and the MMIO device bus
+// shared by the DUT simulator and the reference model.
+//
+// Both models start from byte-identical memory images. Devices live only on
+// the DUT side: device reads are non-deterministic events (NDEs) that the
+// co-simulation framework synchronizes into the reference model, exactly as
+// DiffTest synchronizes MMIO accesses from hardware (paper §2.1).
+package mem
+
+import "fmt"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// RAMBase is the start of simulated DRAM.
+const RAMBase uint64 = 0x8000_0000
+
+// MMIO device windows.
+const (
+	CLINTBase uint64 = 0x0200_0000
+	CLINTSize uint64 = 0x10000
+	UARTBase  uint64 = 0x1000_0000
+	UARTSize  uint64 = 0x1000
+	RNGBase   uint64 = 0x1000_1000
+	RNGSize   uint64 = 0x1000
+	ExitBase  uint64 = 0x1000_2000
+	ExitSize  uint64 = 0x1000
+)
+
+// IsMMIO reports whether addr falls in a device window. MMIO loads are
+// non-deterministic events: the reference model cannot reproduce them and
+// must be fed the DUT-observed value.
+func IsMMIO(addr uint64) bool {
+	switch {
+	case addr >= CLINTBase && addr < CLINTBase+CLINTSize:
+		return true
+	case addr >= UARTBase && addr < ExitBase+ExitSize:
+		return true
+	}
+	return false
+}
+
+type page [pageSize]byte
+
+// Memory is a sparse, page-granular physical memory.
+// The zero value is an empty memory ready for use.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{pages: make(map[uint64]*page)} }
+
+func (m *Memory) pageFor(addr uint64, alloc bool) *page {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*page)
+	}
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Byte returns the byte at addr (0 if the page is unmapped).
+func (m *Memory) Byte(addr uint64) byte {
+	if p := m.pageFor(addr, false); p != nil {
+		return p[addr&pageMask]
+	}
+	return 0
+}
+
+// SetByte stores one byte at addr.
+func (m *Memory) SetByte(addr uint64, v byte) {
+	m.pageFor(addr, true)[addr&pageMask] = v
+}
+
+// Read returns size bytes starting at addr as a little-endian value.
+// size must be 1, 2, 4 or 8 and the access must not cross a page boundary
+// mid-word in a way the fast path cannot handle; arbitrary alignment is
+// supported by a byte loop fallback.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var v uint64
+	off := addr & pageMask
+	if p := m.pageFor(addr, false); p != nil && off+uint64(size) <= pageSize {
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(p[off+uint64(i)])
+		}
+		return v
+	}
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.Byte(addr+uint64(i)))
+	}
+	return v
+}
+
+// Write stores size low-order bytes of val at addr, little-endian.
+func (m *Memory) Write(addr uint64, size int, val uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, true)
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(val >> (8 * i))
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(val>>(8*i)))
+	}
+}
+
+// ReadBytes fills dst with memory contents starting at addr.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & pageMask
+		n := pageSize - off
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		if p := m.pageFor(addr, false); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := range dst[:n] {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr & pageMask
+		n := pageSize - off
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		copy(m.pageFor(addr, true)[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
+	}
+}
+
+// Clone returns a deep copy so the DUT and REF can diverge independently.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}
+
+// PageCount reports the number of mapped 4 KiB pages (for stats/tests).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// String summarizes the memory for diagnostics.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{%d pages, %d KiB}", len(m.pages), len(m.pages)*4)
+}

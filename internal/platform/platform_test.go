@@ -1,0 +1,59 @@
+package platform
+
+import "testing"
+
+func TestDUTOnlyCalibrationAnchors(t *testing.T) {
+	// Table 7 / §6.1 anchors: Palladium runs XiangShan-default DUT-only at
+	// 480 KHz; the FPGA at 50 MHz; 16-thread Verilator at ~4 KHz.
+	if got := Palladium().DUTOnlyHz(57.6); got != 480e3 {
+		t.Errorf("Palladium XiangShan = %.0f Hz, want 480 KHz", got)
+	}
+	if got := FPGA().DUTOnlyHz(57.6); got != 50e6 {
+		t.Errorf("FPGA XiangShan = %.0f Hz, want 50 MHz", got)
+	}
+	v := Verilator(16).DUTOnlyHz(57.6)
+	if v < 3.5e3 || v > 4.5e3 {
+		t.Errorf("Verilator-16t XiangShan = %.0f Hz, want ~4 KHz", v)
+	}
+}
+
+func TestScalingDirections(t *testing.T) {
+	p := Palladium()
+	if p.DUTOnlyHz(0.6) <= p.DUTOnlyHz(57.6) {
+		t.Error("smaller designs should emulate faster")
+	}
+	if p.DUTOnlyHz(111.8) >= p.DUTOnlyHz(57.6) {
+		t.Error("larger designs should emulate slower")
+	}
+	// Verilator scales ~linearly with design size (Table 2: RTL sim ~KHz).
+	v := Verilator(16)
+	ratio := v.DUTOnlyHz(0.6) / v.DUTOnlyHz(57.6)
+	if ratio < 50 || ratio > 150 {
+		t.Errorf("Verilator gate scaling ratio = %.1f, want ~96", ratio)
+	}
+}
+
+func TestVerilatorThreadScalingIsSublinear(t *testing.T) {
+	one := Verilator(1).DUTOnlyHz(57.6)
+	sixteen := Verilator(16).DUTOnlyHz(57.6)
+	speedup := sixteen / one
+	if speedup <= 1 || speedup >= 16 {
+		t.Errorf("16-thread speedup = %.1f, want sublinear parallel scaling", speedup)
+	}
+}
+
+func TestSoftwarePlatformFlag(t *testing.T) {
+	if Palladium().IsSoftware() || FPGA().IsSoftware() {
+		t.Error("hardware platforms misflagged as software")
+	}
+	if !Verilator(8).IsSoftware() {
+		t.Error("Verilator not flagged as software")
+	}
+}
+
+func TestDefaultGates(t *testing.T) {
+	p := Palladium()
+	if p.DUTOnlyHz(0) != p.DUTOnlyHz(57.6) {
+		t.Error("zero gates should default to the anchor design")
+	}
+}

@@ -1,0 +1,188 @@
+// Package replay implements the Replay mechanism (paper §4.4): preserving
+// instruction-level debuggability under fusion by reprocessing the original,
+// unfused verification events around the failure point.
+//
+// The hardware side buffers every monitor record with a monotonically
+// increasing token before fusion. When the software checker detects a
+// mismatch on a fused event, the controller:
+//
+//  1. reverts the reference model to the checkpoint taken at the failing
+//     window's start (compensation-log rollback, not a full snapshot);
+//  2. uses the window's start token to request retransmission of exactly
+//     the buffered records in range;
+//  3. reprocesses them through the per-event checking path, pinpointing the
+//     first mismatching instruction and producing a detailed report.
+package replay
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/event"
+	"repro/internal/ref"
+)
+
+// Buffer is the hardware-side ring of original records awaiting potential
+// replay. Tokens identify records globally; old records are evicted as the
+// ring fills (they are only needed until their window checks clean).
+type Buffer struct {
+	Cap int
+
+	recs  []event.Record
+	first uint64 // token of recs[0]
+	next  uint64 // token of the next record to be added
+
+	// Bytes counts buffered payload for resource accounting.
+	Bytes uint64
+}
+
+// NewBuffer returns a ring buffer holding up to cap records.
+func NewBuffer(cap int) *Buffer {
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	return &Buffer{Cap: cap}
+}
+
+// Add buffers one cycle's records and returns the token of the first.
+func (b *Buffer) Add(recs []event.Record) (startToken uint64) {
+	startToken = b.next
+	for _, r := range recs {
+		b.recs = append(b.recs, r)
+		b.next++
+		b.Bytes += uint64(event.SizeOf(r.Ev.Kind()))
+	}
+	// Evict in quarter-capacity chunks so the amortized cost per record
+	// stays O(1).
+	if over := len(b.recs) - b.Cap; over >= b.Cap/4 {
+		for _, r := range b.recs[:over] {
+			b.Bytes -= uint64(event.SizeOf(r.Ev.Kind()))
+		}
+		b.recs = append(b.recs[:0], b.recs[over:]...)
+		b.first += uint64(over)
+	}
+	return startToken
+}
+
+// Len reports the number of buffered records.
+func (b *Buffer) Len() int { return len(b.recs) }
+
+// NextToken returns the token the next added record will get.
+func (b *Buffer) NextToken() uint64 { return b.next }
+
+// Range retransmits the buffered records for one core with tokens in
+// [from, b.next). It reports an error if the range was evicted.
+func (b *Buffer) Range(core uint8, from uint64) ([]event.Record, error) {
+	if from < b.first {
+		return nil, fmt.Errorf("replay: token %d evicted (buffer starts at %d)", from, b.first)
+	}
+	var out []event.Record
+	for i := int(from - b.first); i < len(b.recs); i++ {
+		if b.recs[i].Core == core {
+			out = append(out, b.recs[i])
+		}
+	}
+	return out, nil
+}
+
+// Report is the instruction-level debugging report Replay produces.
+type Report struct {
+	// Original is the fused-level mismatch that triggered replay.
+	Original *checker.Mismatch
+	// Detailed is the per-instruction mismatch found by reprocessing the
+	// unfused events, or nil if the divergence did not reproduce (e.g. a
+	// digest hash collision).
+	Detailed *checker.Mismatch
+	// Replayed counts retransmitted records; ReplayedBytes their payload.
+	Replayed      int
+	ReplayedBytes int
+	// CheckpointSeq is the instruction count the REF was reverted to.
+	CheckpointSeq uint64
+	// Context holds the last records processed before the failure.
+	Context []event.Record
+}
+
+// String renders the report as the co-simulation's final bug analysis.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== Replay report ===\n")
+	fmt.Fprintf(&sb, "fused-level detection : %v\n", r.Original)
+	if r.Detailed != nil {
+		fmt.Fprintf(&sb, "instruction-level root: %v\n", r.Detailed)
+	} else {
+		fmt.Fprintf(&sb, "instruction-level root: not reproduced\n")
+	}
+	fmt.Fprintf(&sb, "reverted REF to instruction %d; replayed %d events (%d bytes)\n",
+		r.CheckpointSeq, r.Replayed, r.ReplayedBytes)
+	if len(r.Context) > 0 {
+		fmt.Fprintf(&sb, "context (last %d events before failure):\n", len(r.Context))
+		for _, rec := range r.Context {
+			fmt.Fprintf(&sb, "  %v\n", rec)
+		}
+	}
+	return sb.String()
+}
+
+// Controller drives replay for one core: it owns the checkpoint mark taken
+// at each fusion-window boundary.
+type Controller struct {
+	CC  *checker.CoreChecker
+	Buf *Buffer
+
+	mark      ref.Mark
+	markToken uint64
+	haveMark  bool
+}
+
+// NewController wires a core checker to the hardware buffer.
+func NewController(cc *checker.CoreChecker, buf *Buffer) *Controller {
+	return &Controller{CC: cc, Buf: buf}
+}
+
+// Checkpoint records the reference model's state at a fusion-window start
+// (called by the co-simulation before each fused window is processed).
+// startToken is the window's first buffered token.
+func (c *Controller) Checkpoint(startToken uint64) {
+	c.mark = c.CC.Ref.Checkpoint()
+	// Everything before this mark checked clean; its compensation entries
+	// are no longer needed (bounded-memory revert, paper §4.4).
+	c.CC.Ref.TrimBefore(c.mark)
+	c.markToken = startToken
+	c.haveMark = true
+}
+
+// Run reverts the reference model and reprocesses the original unfused
+// records, producing the instruction-level report.
+func (c *Controller) Run(original *checker.Mismatch) *Report {
+	rep := &Report{Original: original, CheckpointSeq: c.mark.InstrRet()}
+	if !c.haveMark {
+		rep.Detailed = original
+		return rep
+	}
+	c.CC.Ref.Revert(c.mark)
+
+	recs, err := c.Buf.Range(original.Core, c.markToken)
+	if err != nil {
+		rep.Detailed = &checker.Mismatch{
+			Core: original.Core, Detail: "replay buffer overrun: " + err.Error(),
+		}
+		return rep
+	}
+
+	const contextLen = 8
+	for _, rec := range recs {
+		rep.Replayed++
+		rep.ReplayedBytes += event.SizeOf(rec.Ev.Kind())
+		if len(rep.Context) == contextLen {
+			copy(rep.Context, rep.Context[1:])
+			rep.Context = rep.Context[:contextLen-1]
+		}
+		rep.Context = append(rep.Context, rec)
+		if m := c.CC.Process(rec); m != nil {
+			rep.Detailed = m
+			return rep
+		}
+	}
+	return rep
+}

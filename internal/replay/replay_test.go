@@ -1,0 +1,55 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func rec(core uint8, seq uint64) event.Record {
+	return event.Record{Seq: seq, Core: core, Ev: &event.InstrCommit{PC: seq * 4}}
+}
+
+func TestBufferTokensAndRange(t *testing.T) {
+	b := NewBuffer(100)
+	tok0 := b.Add([]event.Record{rec(0, 1), rec(1, 1), rec(0, 2)})
+	if tok0 != 0 || b.NextToken() != 3 {
+		t.Fatalf("tokens: start=%d next=%d", tok0, b.NextToken())
+	}
+	tok1 := b.Add([]event.Record{rec(0, 3)})
+	if tok1 != 3 {
+		t.Fatalf("second start token = %d", tok1)
+	}
+	got, err := b.Range(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 2 || got[1].Seq != 3 {
+		t.Errorf("range = %v", got)
+	}
+}
+
+func TestBufferEviction(t *testing.T) {
+	b := NewBuffer(64)
+	for i := 0; i < 100; i++ {
+		b.Add([]event.Record{rec(0, uint64(i))})
+	}
+	if b.Len() > 64+16 {
+		t.Errorf("buffer over capacity: %d", b.Len())
+	}
+	if _, err := b.Range(0, 0); err == nil {
+		t.Error("evicted token still readable")
+	}
+	if _, err := b.Range(0, b.NextToken()-1); err != nil {
+		t.Errorf("recent token unreadable: %v", err)
+	}
+}
+
+func TestBufferBytesAccounting(t *testing.T) {
+	b := NewBuffer(1000)
+	b.Add([]event.Record{rec(0, 1)})
+	want := uint64(event.SizeOf(event.KindInstrCommit))
+	if b.Bytes != want {
+		t.Errorf("bytes = %d, want %d", b.Bytes, want)
+	}
+}

@@ -1,0 +1,84 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/event"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+func machine() *arch.Machine {
+	m := arch.NewMachine(mem.New())
+	m.State.GPR[5] = 0xAA
+	m.State.FPR[2] = 0xBB
+	m.State.VReg[1][3] = 0xCC
+	m.State.SetCSR(isa.CSRMstatus, 0x1888)
+	m.State.SetCSR(isa.CSRVl, 4)
+	m.State.SetCSR(isa.CSRHgatp, 1)
+	m.State.SetCSR(isa.CSRFcsr, 0xE0)
+	return m
+}
+
+func TestBuildersReflectState(t *testing.T) {
+	m := machine()
+	if IntRegState(m).GPR[5] != 0xAA {
+		t.Error("int reg snapshot wrong")
+	}
+	if FpRegState(m).FPR[2] != 0xBB {
+		t.Error("fp reg snapshot wrong")
+	}
+	if VecRegState(m).VReg[1][3] != 0xCC {
+		t.Error("vec reg snapshot wrong")
+	}
+	cs := CSRState(m)
+	if cs.Mstatus != 0x1888 || cs.Priv != 3 {
+		t.Errorf("csr snapshot: %+v", cs)
+	}
+	if VecCSRState(m).Vl != 4 || VecCSRState(m).Vlenb != isa.VLenBytes {
+		t.Error("vec csr snapshot wrong")
+	}
+	if HCSRState(m).Hgatp != 1 {
+		t.Error("hypervisor snapshot wrong")
+	}
+	if FpCSRState(m).Fcsr != 0xE0 {
+		t.Error("fcsr snapshot wrong")
+	}
+}
+
+func TestMipOmittedFromCSRState(t *testing.T) {
+	// mip reflects live device state that the REF cannot reproduce; the
+	// snapshot must report zero so interrupt wiring never causes spurious
+	// mismatches (NDE synchronization handles delivery instead).
+	m := machine()
+	m.State.SetCSR(isa.CSRMip, 0x880)
+	if CSRState(m).Mip != 0 {
+		t.Error("mip leaked into the comparison snapshot")
+	}
+}
+
+func TestBuildDispatch(t *testing.T) {
+	m := machine()
+	for _, k := range SnapshotKinds {
+		ev := Build(k, m)
+		if ev == nil || ev.Kind() != k {
+			t.Errorf("Build(%v) = %v", k, ev)
+		}
+	}
+	if Build(event.KindLoad, m) != nil {
+		t.Error("Build produced a non-snapshot kind")
+	}
+	if len(SnapshotKinds) != 9 {
+		t.Errorf("snapshot kinds = %d, want the 9 register-update kinds", len(SnapshotKinds))
+	}
+}
+
+func TestSnapshotsAreValueCopies(t *testing.T) {
+	m := machine()
+	snap := IntRegState(m)
+	m.State.GPR[5] = 0xDD
+	if snap.GPR[5] != 0xAA {
+		t.Error("snapshot aliases live state")
+	}
+}

@@ -1,0 +1,100 @@
+package sqldb
+
+// Value is a dynamically typed SQL value: int64, float64, string, or nil.
+type Value any
+
+// Expressions.
+
+type expr interface{ isExpr() }
+
+type literal struct{ v Value }
+
+type column struct{ name string }
+
+type unary struct {
+	op string // "-" or "NOT"
+	x  expr
+}
+
+type binary struct {
+	op   string // + - * / % = != < <= > >= AND OR
+	l, r expr
+}
+
+type call struct {
+	fn   string // COUNT SUM AVG MIN MAX ABS
+	star bool   // COUNT(*)
+	arg  expr
+}
+
+func (literal) isExpr() {}
+func (column) isExpr()  {}
+func (unary) isExpr()   {}
+func (binary) isExpr()  {}
+func (call) isExpr()    {}
+
+// Statements.
+
+type stmt interface{ isStmt() }
+
+type createStmt struct {
+	table string
+	cols  []ColumnDef
+}
+
+type insertStmt struct {
+	table string
+	rows  [][]expr
+}
+
+type selectItem struct {
+	ex    expr
+	alias string
+}
+
+type orderKey struct {
+	ex   expr
+	desc bool
+}
+
+type selectStmt struct {
+	items   []selectItem
+	star    bool
+	table   string
+	where   expr
+	groupBy []string
+	orderBy []orderKey
+	limit   int // -1 = no limit
+}
+
+func (createStmt) isStmt() {}
+func (insertStmt) isStmt() {}
+func (selectStmt) isStmt() {}
+
+// ColumnDef declares one table column.
+type ColumnDef struct {
+	Name string
+	Type ColType
+}
+
+// ColType is a column's declared type.
+type ColType uint8
+
+// Column types.
+const (
+	TypeInteger ColType = iota
+	TypeReal
+	TypeText
+)
+
+// String returns the SQL name of the type.
+func (t ColType) String() string {
+	switch t {
+	case TypeInteger:
+		return "INTEGER"
+	case TypeReal:
+		return "REAL"
+	default:
+		return "TEXT"
+	}
+}

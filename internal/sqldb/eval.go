@@ -1,0 +1,344 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rowEnv resolves column references during evaluation: a single row, or a
+// group of rows for aggregate evaluation.
+type rowEnv struct {
+	table *Table
+	row   []Value   // representative row (nil for pure aggregates)
+	group [][]Value // rows of the current group (nil outside aggregation)
+}
+
+func (e *rowEnv) col(name string) (Value, error) {
+	i, ok := e.table.index[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown column %q in table %q", name, e.table.Name)
+	}
+	if e.row == nil {
+		return nil, fmt.Errorf("sql: column %q referenced outside GROUP BY", name)
+	}
+	return e.row[i], nil
+}
+
+func eval(ex expr, env *rowEnv) (Value, error) {
+	switch x := ex.(type) {
+	case literal:
+		return x.v, nil
+	case column:
+		return env.col(x.name)
+	case unary:
+		v, err := eval(x.x, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.op {
+		case "-":
+			switch n := v.(type) {
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, fmt.Errorf("sql: cannot negate %T", v)
+		case "NOT":
+			b, err := truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			return boolVal(!b), nil
+		}
+	case binary:
+		return evalBinary(x, env)
+	case call:
+		return evalCall(x, env)
+	}
+	return nil, fmt.Errorf("sql: cannot evaluate %T", ex)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return int64(1)
+	}
+	return int64(0)
+}
+
+func truthy(v Value) (bool, error) {
+	switch n := v.(type) {
+	case int64:
+		return n != 0, nil
+	case float64:
+		return n != 0, nil
+	case nil:
+		return false, nil
+	}
+	return false, fmt.Errorf("sql: %T is not a boolean", v)
+}
+
+func evalBinary(x binary, env *rowEnv) (Value, error) {
+	if x.op == "AND" || x.op == "OR" {
+		lb, err := eval(x.l, env)
+		if err != nil {
+			return nil, err
+		}
+		l, err := truthy(lb)
+		if err != nil {
+			return nil, err
+		}
+		if x.op == "AND" && !l {
+			return boolVal(false), nil
+		}
+		if x.op == "OR" && l {
+			return boolVal(true), nil
+		}
+		rb, err := eval(x.r, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := truthy(rb)
+		if err != nil {
+			return nil, err
+		}
+		return boolVal(r), nil
+	}
+
+	l, err := eval(x.l, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := eval(x.r, env)
+	if err != nil {
+		return nil, err
+	}
+
+	switch x.op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		c, err := compare(l, r)
+		if err != nil {
+			return nil, err
+		}
+		var b bool
+		switch x.op {
+		case "=":
+			b = c == 0
+		case "!=":
+			b = c != 0
+		case "<":
+			b = c < 0
+		case "<=":
+			b = c <= 0
+		case ">":
+			b = c > 0
+		case ">=":
+			b = c >= 0
+		}
+		return boolVal(b), nil
+	}
+	return arith(x.op, l, r)
+}
+
+func compare(l, r Value) (int, error) {
+	if ls, ok := l.(string); ok {
+		rs, ok := r.(string)
+		if !ok {
+			return 0, fmt.Errorf("sql: comparing string with %T", r)
+		}
+		return strings.Compare(ls, rs), nil
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return 0, fmt.Errorf("sql: cannot compare %T with %T", l, r)
+	}
+	switch {
+	case lf < rf:
+		return -1, nil
+	case lf > rf:
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return float64(n), true
+	case float64:
+		return n, true
+	}
+	return 0, false
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	li, lInt := l.(int64)
+	ri, rInt := r.(int64)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil
+		case "-":
+			return li - ri, nil
+		case "*":
+			return li * ri, nil
+		case "/":
+			if ri == 0 {
+				return nil, fmt.Errorf("sql: division by zero")
+			}
+			return li / ri, nil
+		case "%":
+			if ri == 0 {
+				return nil, fmt.Errorf("sql: modulo by zero")
+			}
+			return li % ri, nil
+		}
+	}
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if !lok || !rok {
+		return nil, fmt.Errorf("sql: arithmetic on %T and %T", l, r)
+	}
+	switch op {
+	case "+":
+		return lf + rf, nil
+	case "-":
+		return lf - rf, nil
+	case "*":
+		return lf * rf, nil
+	case "/":
+		if rf == 0 {
+			return nil, fmt.Errorf("sql: division by zero")
+		}
+		return lf / rf, nil
+	case "%":
+		return nil, fmt.Errorf("sql: %% needs integers")
+	}
+	return nil, fmt.Errorf("sql: unknown operator %q", op)
+}
+
+func evalCall(x call, env *rowEnv) (Value, error) {
+	if x.fn == "ABS" {
+		v, err := eval(x.arg, env)
+		if err != nil {
+			return nil, err
+		}
+		switch n := v.(type) {
+		case int64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		case float64:
+			if n < 0 {
+				return -n, nil
+			}
+			return n, nil
+		}
+		return nil, fmt.Errorf("sql: ABS of %T", v)
+	}
+
+	if env.group == nil {
+		return nil, fmt.Errorf("sql: aggregate %s outside an aggregating query", x.fn)
+	}
+	if x.fn == "COUNT" && x.star {
+		return int64(len(env.group)), nil
+	}
+
+	var (
+		count   int64
+		sum     float64
+		intOnly = true
+		isum    int64
+		minV    Value
+		maxV    Value
+	)
+	for _, row := range env.group {
+		sub := rowEnv{table: env.table, row: row}
+		v, err := eval(x.arg, &sub)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		count++
+		switch n := v.(type) {
+		case int64:
+			isum += n
+			sum += float64(n)
+		case float64:
+			intOnly = false
+			sum += n
+		case string:
+			intOnly = false
+		}
+		if minV == nil {
+			minV, maxV = v, v
+			continue
+		}
+		if c, err := compare(v, minV); err == nil && c < 0 {
+			minV = v
+		}
+		if c, err := compare(v, maxV); err == nil && c > 0 {
+			maxV = v
+		}
+	}
+
+	switch x.fn {
+	case "COUNT":
+		return count, nil
+	case "SUM":
+		if count == 0 {
+			return nil, nil
+		}
+		if intOnly {
+			return isum, nil
+		}
+		return sum, nil
+	case "AVG":
+		if count == 0 {
+			return nil, nil
+		}
+		return sum / float64(count), nil
+	case "MIN":
+		return minV, nil
+	case "MAX":
+		return maxV, nil
+	}
+	return nil, fmt.Errorf("sql: unknown function %q", x.fn)
+}
+
+// hasAggregate reports whether ex contains an aggregate call.
+func hasAggregate(ex expr) bool {
+	switch x := ex.(type) {
+	case call:
+		return x.fn != "ABS" || x.arg != nil && hasAggregate(x.arg)
+	case unary:
+		return hasAggregate(x.x)
+	case binary:
+		return hasAggregate(x.l) || hasAggregate(x.r)
+	}
+	return false
+}
+
+// renderExpr names an unaliased select item.
+func renderExpr(ex expr) string {
+	switch x := ex.(type) {
+	case literal:
+		return fmt.Sprint(x.v)
+	case column:
+		return x.name
+	case unary:
+		return x.op + renderExpr(x.x)
+	case binary:
+		return renderExpr(x.l) + x.op + renderExpr(x.r)
+	case call:
+		if x.star {
+			return x.fn + "(*)"
+		}
+		return x.fn + "(" + renderExpr(x.arg) + ")"
+	}
+	return "?"
+}

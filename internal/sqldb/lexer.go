@@ -1,0 +1,160 @@
+// Package sqldb is a small in-memory SQL engine used by the DiffTest-H
+// tuning toolkit for offline analysis of transmission logs (paper §5, "SQL
+// analysis support"): co-simulation runs record per-event transmission rows
+// into tables, and queries over them expose event correlations that guide
+// fusion and differencing strategy.
+//
+// Supported dialect:
+//
+//	CREATE TABLE t (col INTEGER|REAL|TEXT, ...)
+//	INSERT INTO t VALUES (v, ...), (v, ...)
+//	SELECT expr [AS name], ... FROM t
+//	       [WHERE expr] [GROUP BY col, ...]
+//	       [ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//
+// with the aggregates COUNT(*), COUNT(x), SUM, AVG, MIN, MAX, integer/real
+// arithmetic, comparisons, AND/OR/NOT, and string literals.
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * + - / % = < > <= >= != <>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+		} else if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+var twoCharSymbols = []string{"<=", ">=", "!=", "<>"}
+
+func (l *lexer) lexSymbol() error {
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.toks = append(l.toks, token{kind: tokSymbol, text: s, pos: l.pos})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', ';':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

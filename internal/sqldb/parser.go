@@ -1,0 +1,476 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return s, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near position %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// acceptKw consumes an identifier keyword (case-insensitive).
+func (p *parser) acceptKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, found %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+// accept consumes a symbol token.
+func (p *parser) accept(sym string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(sym string) error {
+	if !p.accept(sym) {
+		return p.errf("expected %q, found %q", sym, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	switch {
+	case p.acceptKw("CREATE"):
+		return p.createTable()
+	case p.acceptKw("INSERT"):
+		return p.insert()
+	case p.acceptKw("SELECT"):
+		return p.selectStmt()
+	}
+	return nil, p.errf("expected CREATE, INSERT, or SELECT, found %q", p.peek().text)
+}
+
+func (p *parser) createTable() (stmt, error) {
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var ct ColType
+		switch strings.ToUpper(tname) {
+		case "INTEGER", "INT", "BIGINT":
+			ct = TypeInteger
+		case "REAL", "FLOAT", "DOUBLE":
+			ct = TypeReal
+		case "TEXT", "VARCHAR", "STRING":
+			ct = TypeText
+		default:
+			return nil, p.errf("unknown column type %q", tname)
+		}
+		cols = append(cols, ColumnDef{Name: cname, Type: ct})
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return createStmt{table: name, cols: cols}, nil
+}
+
+func (p *parser) insert() (stmt, error) {
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]expr
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []expr
+		for {
+			ex, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ex)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	return insertStmt{table: name, rows: rows}, nil
+}
+
+func (p *parser) selectStmt() (stmt, error) {
+	s := selectStmt{limit: -1}
+	if p.accept("*") {
+		s.star = true
+	} else {
+		for {
+			ex, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := selectItem{ex: ex}
+			if p.acceptKw("AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.alias = alias
+			}
+			s.items = append(s.items, item)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.table = name
+
+	if p.acceptKw("WHERE") {
+		ex, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.where = ex
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.groupBy = append(s.groupBy, col)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			ex, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			key := orderKey{ex: ex}
+			if p.acceptKw("DESC") {
+				key.desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			s.orderBy = append(s.orderBy, key)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errf("LIMIT wants a number, found %q", t.text)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		s.limit = n
+	}
+	return s, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	or   := and (OR and)*
+//	and  := not (AND not)*
+//	not  := NOT not | cmp
+//	cmp  := add ((= != < <= > >=) add)?
+//	add  := mul ((+ -) mul)*
+//	mul  := un  ((* / %) un)*
+//	un   := - un | primary
+//	prim := literal | ident | ident '(' args ')' | '(' or ')'
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "OR", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "AND", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (expr, error) {
+	if p.acceptKw("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return unary{op: "NOT", x: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+var cmpOps = map[string]string{"=": "=", "!=": "!=", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+func (p *parser) cmpExpr() (expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokSymbol {
+		if op, ok := cmpOps[t.text]; ok {
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return binary{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = binary{op: "+", l: l, r: r}
+		case p.accept("-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = binary{op: "-", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("*"):
+			op = "*"
+		case p.accept("/"):
+			op = "/"
+		case p.accept("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	if p.accept("-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return unary{op: "-", x: x}, nil
+	}
+	return p.primary()
+}
+
+var aggFns = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true, "ABS": true}
+
+func (p *parser) primary() (expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return literal{v: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return literal{v: n}, nil
+
+	case tokString:
+		p.pos++
+		return literal{v: t.text}, nil
+
+	case tokIdent:
+		up := strings.ToUpper(t.text)
+		if aggFns[up] {
+			p.pos++
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			c := call{fn: up}
+			if p.accept("*") {
+				c.star = true
+			} else {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				c.arg = arg
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+		p.pos++
+		return column{name: t.text}, nil
+
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			ex, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return ex, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

@@ -1,0 +1,219 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustExec(t *testing.T, db *DB, q string) *Result {
+	t.Helper()
+	r, err := db.Exec(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return r
+}
+
+func seeded(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, "CREATE TABLE tx (cycle INTEGER, kind TEXT, bytes INTEGER, lat REAL)")
+	mustExec(t, db, `INSERT INTO tx VALUES
+		(1, 'commit', 32, 0.5), (1, 'load', 40, 0.7), (2, 'commit', 32, 0.4),
+		(2, 'csr', 160, 1.2), (3, 'commit', 32, 0.6), (3, 'load', 40, 0.9),
+		(4, 'vec', 1360, 4.0)`)
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := seeded(t)
+	r := mustExec(t, db, "SELECT * FROM tx")
+	if len(r.Rows) != 7 || len(r.Cols) != 4 {
+		t.Fatalf("got %dx%d", len(r.Rows), len(r.Cols))
+	}
+}
+
+func TestWhere(t *testing.T) {
+	db := seeded(t)
+	r := mustExec(t, db, "SELECT kind, bytes FROM tx WHERE bytes > 40 AND cycle >= 2")
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2:\n%s", len(r.Rows), r)
+	}
+	r = mustExec(t, db, "SELECT cycle FROM tx WHERE kind = 'load' OR kind = 'vec'")
+	if len(r.Rows) != 3 {
+		t.Fatalf("or-filter rows = %d", len(r.Rows))
+	}
+	r = mustExec(t, db, "SELECT cycle FROM tx WHERE NOT (kind = 'commit')")
+	if len(r.Rows) != 4 {
+		t.Fatalf("not-filter rows = %d", len(r.Rows))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := seeded(t)
+	r := mustExec(t, db, "SELECT COUNT(*), SUM(bytes), AVG(lat), MIN(bytes), MAX(bytes) FROM tx")
+	row := r.Rows[0]
+	if row[0].(int64) != 7 {
+		t.Errorf("count = %v", row[0])
+	}
+	if row[1].(int64) != 32+40+32+160+32+40+1360 {
+		t.Errorf("sum = %v", row[1])
+	}
+	if row[3].(int64) != 32 || row[4].(int64) != 1360 {
+		t.Errorf("min/max = %v/%v", row[3], row[4])
+	}
+	avg := row[2].(float64)
+	if avg < 1.18 || avg > 1.20 {
+		t.Errorf("avg = %v", avg)
+	}
+}
+
+func TestGroupByOrderByLimit(t *testing.T) {
+	db := seeded(t)
+	r := mustExec(t, db, `SELECT kind, COUNT(*) AS n, SUM(bytes) AS vol FROM tx
+		GROUP BY kind ORDER BY vol DESC LIMIT 2`)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(r.Rows), r)
+	}
+	if r.Rows[0][0].(string) != "vec" || r.Rows[0][2].(int64) != 1360 {
+		t.Errorf("top group = %v", r.Rows[0])
+	}
+	if r.Cols[1] != "n" || r.Cols[2] != "vol" {
+		t.Errorf("aliases = %v", r.Cols)
+	}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE x (a INTEGER, b INTEGER)")
+	mustExec(t, db, "INSERT INTO x VALUES (10, 3)")
+	r := mustExec(t, db, "SELECT a + b * 2, (a + b) * 2, a / b, a % b, -a FROM x")
+	row := r.Rows[0]
+	want := []int64{16, 26, 3, 1, -10}
+	for i, w := range want {
+		if row[i].(int64) != w {
+			t.Errorf("expr %d = %v, want %d", i, row[i], w)
+		}
+	}
+	r = mustExec(t, db, "SELECT a * 1.5 FROM x")
+	if r.Rows[0][0].(float64) != 15 {
+		t.Errorf("mixed arith = %v", r.Rows[0][0])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE s (v TEXT)")
+	mustExec(t, db, "INSERT INTO s VALUES ('it''s')")
+	r := mustExec(t, db, "SELECT v FROM s")
+	if r.Rows[0][0].(string) != "it's" {
+		t.Errorf("escaped string = %q", r.Rows[0][0])
+	}
+}
+
+func TestProgrammaticInsert(t *testing.T) {
+	db := Open()
+	if _, err := db.CreateTable("log",
+		ColumnDef{"cycle", TypeInteger}, ColumnDef{"kind", TypeText}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := db.Insert("log", i, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := mustExec(t, db, "SELECT COUNT(*) FROM log WHERE cycle % 2 = 0")
+	if r.Rows[0][0].(int64) != 50 {
+		t.Errorf("count = %v", r.Rows[0][0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := seeded(t)
+	bad := []string{
+		"SELECT nope FROM tx",
+		"SELECT * FROM missing",
+		"CREATE TABLE tx (a INTEGER)", // duplicate
+		"INSERT INTO tx VALUES (1)",   // arity
+		"SELECT * FROM tx WHERE",      // parse
+		"SELECT 1/0 FROM tx",          // div by zero
+		"FROB tx",                     // unknown statement
+		"SELECT bytes FROM tx GROUP BY bogus",
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("%q did not fail", q)
+		}
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := seeded(t)
+	r := mustExec(t, db, "select Kind, count(*) from TX group by kind order by count(*) desc limit 1")
+	if r.Rows[0][0].(string) != "commit" {
+		t.Errorf("top kind = %v", r.Rows[0][0])
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	db := seeded(t)
+	out := mustExec(t, db, "SELECT kind, COUNT(*) FROM tx GROUP BY kind").String()
+	if !strings.Contains(out, "commit") || !strings.Contains(out, "kind") {
+		t.Errorf("rendering:\n%s", out)
+	}
+}
+
+func TestTablesList(t *testing.T) {
+	db := seeded(t)
+	if got := db.Tables(); len(got) != 1 || got[0] != "tx" {
+		t.Errorf("tables = %v", got)
+	}
+}
+
+func TestMultiKeyOrderBy(t *testing.T) {
+	db := Open()
+	mustExec(t, db, "CREATE TABLE m (a INTEGER, b INTEGER)")
+	mustExec(t, db, "INSERT INTO m VALUES (1, 2), (1, 1), (0, 9), (1, 0)")
+	r := mustExec(t, db, "SELECT a, b FROM m ORDER BY a DESC, b ASC")
+	want := [][2]int64{{1, 0}, {1, 1}, {1, 2}, {0, 9}}
+	for i, w := range want {
+		if r.Rows[i][0].(int64) != w[0] || r.Rows[i][1].(int64) != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, r.Rows[i], w)
+		}
+	}
+}
+
+func TestAggregateInExpression(t *testing.T) {
+	db := seeded(t)
+	r := mustExec(t, db, "SELECT SUM(bytes) / COUNT(*) FROM tx")
+	if r.Rows[0][0].(int64) != (32+40+32+160+32+40+1360)/7 {
+		t.Errorf("mean bytes = %v", r.Rows[0][0])
+	}
+}
+
+func TestLimitZeroAndAbs(t *testing.T) {
+	db := seeded(t)
+	if r := mustExec(t, db, "SELECT * FROM tx LIMIT 0"); len(r.Rows) != 0 {
+		t.Errorf("LIMIT 0 returned %d rows", len(r.Rows))
+	}
+	r := mustExec(t, db, "SELECT ABS(0 - bytes) FROM tx WHERE kind = 'vec'")
+	if r.Rows[0][0].(int64) != 1360 {
+		t.Errorf("abs = %v", r.Rows[0][0])
+	}
+}
+
+func TestWhereOnReal(t *testing.T) {
+	db := seeded(t)
+	r := mustExec(t, db, "SELECT COUNT(*) FROM tx WHERE lat >= 0.9")
+	if r.Rows[0][0].(int64) != 3 {
+		t.Errorf("real filter count = %v", r.Rows[0][0])
+	}
+}
+
+func TestGroupByTwoColumns(t *testing.T) {
+	db := seeded(t)
+	r := mustExec(t, db, "SELECT cycle, kind, COUNT(*) FROM tx GROUP BY cycle, kind")
+	if len(r.Rows) != 7 { // every (cycle,kind) pair is unique in the seed data
+		t.Errorf("groups = %d", len(r.Rows))
+	}
+}

@@ -1,0 +1,129 @@
+// Package workload generates the benchmark programs the co-simulation runs:
+// seeded synthetic equivalents of the paper's workloads (Linux boot,
+// microbench, SPEC CPU, KVM, XVISOR, RVV_TEST — Table 3) with calibrated
+// instruction mixes and non-deterministic-event rates.
+//
+// Programs are real machine code: the generator assembles RV64 instructions
+// into a memory image that both the DUT and the reference model fetch,
+// decode and execute. Each profile controls the rate of MMIO accesses,
+// traps, and interrupts — the order-semantics stressors that break naive
+// event fusion (paper §4.3).
+package workload
+
+// Profile describes a workload's instruction mix and NDE behaviour.
+// Weights are relative; rates are per-mille of generated instructions.
+type Profile struct {
+	Name string
+
+	// Instruction class weights.
+	WALU, WBranch, WLoad, WStore, WMulDiv, WCSR int
+	WFP, WVec, WAtomic, WHyp                    int
+
+	// Non-determinism and trap rates (per mille of body instructions).
+	MMIOPerMille  int // MMIO loads/stores (UART, RNG, CLINT)
+	EcallPerMille int // ecall traps
+	GuestFaultPM  int // hypervisor guest-page-fault sequences
+
+	// TimerInterval arms the CLINT timer every so many time units;
+	// 0 leaves the timer off.
+	TimerInterval uint64
+
+	// TargetInstrs is the approximate dynamic instruction count.
+	TargetInstrs uint64
+}
+
+// LinuxBoot models an OS boot: heavy device interaction, frequent
+// exceptions and timer interrupts (the paper's primary workload, ~1.7B
+// instructions on real hardware; scaled down by TargetInstrs).
+func LinuxBoot() Profile {
+	return Profile{
+		Name: "linux",
+		WALU: 40, WBranch: 14, WLoad: 18, WStore: 10, WMulDiv: 4, WCSR: 6,
+		WFP: 2, WVec: 2, WAtomic: 3, WHyp: 1,
+		MMIOPerMille:  25,
+		EcallPerMille: 8,
+		GuestFaultPM:  2,
+		TimerInterval: 1500,
+		TargetInstrs:  300_000,
+	}
+}
+
+// Microbench models a tight compute kernel with almost no device traffic.
+func Microbench() Profile {
+	return Profile{
+		Name: "microbench",
+		WALU: 52, WBranch: 12, WLoad: 18, WStore: 10, WMulDiv: 6, WCSR: 1,
+		WFP: 1, WVec: 0, WAtomic: 0, WHyp: 0,
+		MMIOPerMille:  1,
+		EcallPerMille: 0,
+		TimerInterval: 0,
+		TargetInstrs:  200_000,
+	}
+}
+
+// SPEC models a SPEC-CPU-like compute workload: long stretches of
+// deterministic execution, rare traps.
+func SPEC() Profile {
+	return Profile{
+		Name: "spec",
+		WALU: 45, WBranch: 13, WLoad: 20, WStore: 11, WMulDiv: 6, WCSR: 1,
+		WFP: 3, WVec: 0, WAtomic: 1, WHyp: 0,
+		MMIOPerMille:  2,
+		EcallPerMille: 1,
+		TimerInterval: 8000,
+		TargetInstrs:  400_000,
+	}
+}
+
+// KVM models a hypervisor workload: heavy trap/CSR traffic and guest
+// accesses.
+func KVM() Profile {
+	return Profile{
+		Name: "kvm",
+		WALU: 32, WBranch: 12, WLoad: 14, WStore: 8, WMulDiv: 2, WCSR: 12,
+		WFP: 0, WVec: 0, WAtomic: 4, WHyp: 16,
+		MMIOPerMille:  18,
+		EcallPerMille: 20,
+		GuestFaultPM:  8,
+		TimerInterval: 2000,
+		TargetInstrs:  250_000,
+	}
+}
+
+// XVisor is a second virtualization workload with more device emulation.
+func XVisor() Profile {
+	p := KVM()
+	p.Name = "xvisor"
+	p.MMIOPerMille = 30
+	p.WHyp = 12
+	p.TargetInstrs = 250_000
+	return p
+}
+
+// RVVTest models a vector-extension test suite.
+func RVVTest() Profile {
+	return Profile{
+		Name: "rvv_test",
+		WALU: 25, WBranch: 10, WLoad: 10, WStore: 8, WMulDiv: 2, WCSR: 8,
+		WFP: 2, WVec: 33, WAtomic: 1, WHyp: 1,
+		MMIOPerMille:  4,
+		EcallPerMille: 4,
+		TimerInterval: 4000,
+		TargetInstrs:  250_000,
+	}
+}
+
+// Profiles returns all built-in workload profiles.
+func Profiles() []Profile {
+	return []Profile{LinuxBoot(), Microbench(), SPEC(), KVM(), XVisor(), RVVTest()}
+}
+
+// ByName returns the named profile, or false.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,148 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// runToCompletion executes a program on a bare machine with a device bus
+// until the exit device fires.
+func runToCompletion(t *testing.T, prog *workload.Program, core int, maxInstrs int) *arch.Machine {
+	t.Helper()
+	ram := prog.Image.Clone()
+	bus := mem.NewBus(ram)
+	m := arch.NewMachine(ram)
+	m.Bus = bus
+	m.State.PC = prog.Entries[core]
+	for i := 0; i < maxInstrs; i++ {
+		bus.CLINT.Tick(1)
+		if cause, ok := m.InterruptPendingEnabled(); ok {
+			m.TakeInterrupt(cause)
+		}
+		m.Step()
+		if bus.Exit.Fired {
+			if bus.Exit.Code != 0 {
+				t.Fatalf("bad trap code %d", bus.Exit.Code)
+			}
+			return m
+		}
+	}
+	t.Fatalf("%s core %d did not exit within %d instructions", prog.Name, core, maxInstrs)
+	return nil
+}
+
+func TestEveryProfileRunsToGoodTrap(t *testing.T) {
+	for _, p := range workload.Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			p.TargetInstrs = 15_000
+			prog := workload.Generate(p, 1, 3)
+			runToCompletion(t, prog, 0, 10_000_000)
+		})
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	p := workload.LinuxBoot()
+	p.TargetInstrs = 10_000
+	a := workload.Generate(p, 2, 42)
+	b := workload.Generate(p, 2, 42)
+	if a.StaticInstrs != b.StaticInstrs || a.LoopIters != b.LoopIters {
+		t.Fatal("generation metadata differs for same seed")
+	}
+	for _, entry := range a.Entries {
+		for off := uint64(0); off < 4096; off += 4 {
+			if a.Image.Read(entry+off, 4) != b.Image.Read(entry+off, 4) {
+				t.Fatalf("code differs at %#x", entry+off)
+			}
+		}
+	}
+	c := workload.Generate(p, 2, 43)
+	same := true
+	for off := uint64(0); off < 4096 && same; off += 4 {
+		same = a.Image.Read(a.Entries[0]+off, 4) == c.Image.Read(c.Entries[0]+off, 4)
+	}
+	if same {
+		t.Error("different seeds produced identical code prefixes")
+	}
+}
+
+func TestDualCoreLayoutIsDisjoint(t *testing.T) {
+	p := workload.SPEC()
+	p.TargetInstrs = 10_000
+	prog := workload.Generate(p, 2, 9)
+	if len(prog.Entries) != 2 {
+		t.Fatalf("entries = %v", prog.Entries)
+	}
+	if prog.Entries[0] == prog.Entries[1] {
+		t.Error("cores share an entry point")
+	}
+	// Both cores must run to completion independently.
+	runToCompletion(t, prog, 0, 10_000_000)
+	runToCompletion(t, prog, 1, 10_000_000)
+}
+
+func TestProfileMixIsRespected(t *testing.T) {
+	p := workload.RVVTest()
+	p.TargetInstrs = 20_000
+	prog := workload.Generate(p, 1, 5)
+	// Count static vector instructions in the body.
+	vec, total := 0, 0
+	for off := uint64(0); off < uint64(prog.StaticInstrs)*4; off += 4 {
+		w := uint32(prog.Image.Read(prog.Entries[0]+off, 4))
+		in, err := isa.Decode(w)
+		if err != nil {
+			continue
+		}
+		total++
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassVector, isa.ClassVecLoad, isa.ClassVecStore:
+			vec++
+		}
+	}
+	if total == 0 || float64(vec)/float64(total) < 0.15 {
+		t.Errorf("rvv_test vector share = %d/%d, want a vector-heavy mix", vec, total)
+	}
+
+	micro := workload.Microbench()
+	micro.TargetInstrs = 20_000
+	mb := workload.Generate(micro, 1, 5)
+	mmio := 0
+	for off := uint64(0); off < uint64(mb.StaticInstrs)*4; off += 4 {
+		w := uint32(mb.Image.Read(mb.Entries[0]+off, 4))
+		if in, err := isa.Decode(w); err == nil && in.Op == isa.OpLUI &&
+			uint32(in.Imm)&0xFFFFF000 == uint32(mem.UARTBase) {
+			mmio++
+		}
+	}
+	if mmio > 10 {
+		t.Errorf("microbench has %d UART sequences, should be nearly none", mmio)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := workload.ByName("linux"); !ok {
+		t.Error("linux profile missing")
+	}
+	if _, ok := workload.ByName("nope"); ok {
+		t.Error("bogus profile found")
+	}
+}
+
+func TestTargetInstrsScalesRuntime(t *testing.T) {
+	short := workload.Microbench()
+	short.TargetInstrs = 5_000
+	long := workload.Microbench()
+	long.TargetInstrs = 50_000
+	ms := runToCompletion(t, workload.Generate(short, 1, 7), 0, 10_000_000)
+	ml := runToCompletion(t, workload.Generate(long, 1, 7), 0, 10_000_000)
+	ratio := float64(ml.InstrRet) / float64(ms.InstrRet)
+	if ratio < 4 || ratio > 25 {
+		t.Errorf("10x target gave %.1fx dynamic instructions (%d vs %d)",
+			ratio, ml.InstrRet, ms.InstrRet)
+	}
+}
