@@ -1,0 +1,31 @@
+# Local mirror of .github/workflows/ci.yml — `make ci` runs the exact gates
+# CI enforces, in the same order.
+
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "files need gofmt:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+ci: build test race vet fmt-check bench-smoke

@@ -12,6 +12,8 @@ import (
 
 func main() {
 	instrs := flag.Uint64("instrs", experiments.DefaultInstrs, "dynamic instructions per run")
+	workers := flag.Int("workers", 0, "concurrent co-simulations per sweep (0 = GOMAXPROCS)")
 	flag.Parse()
+	experiments.Workers = *workers
 	fmt.Println(experiments.Table5(*instrs))
 }

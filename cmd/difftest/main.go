@@ -6,6 +6,7 @@
 //
 //	difftest -dut xiangshan -platform palladium -config EBINSD -workload linux
 //	difftest -bug load-sign-extension -config EBINSD   # inject and detect a bug
+//	difftest -executed                                 # modeled vs executed pipeline
 //	difftest -list                                     # show available options
 package main
 
@@ -14,12 +15,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/bugs"
 	"repro/internal/cosim"
 	"repro/internal/dut"
 	"repro/internal/platform"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -33,8 +36,10 @@ func main() {
 		seed     = flag.Int64("seed", 7, "workload generation seed")
 		bugID    = flag.String("bug", "", "inject a bug from the library (see -list)")
 		threads  = flag.Int("threads", 16, "verilator host threads")
-		verbose  = flag.Bool("v", false, "print communication counters")
-		list     = flag.Bool("list", false, "list DUTs, workloads, and bugs")
+		executed = flag.Bool("executed", false,
+			"run every configuration through both the analytic model and the executed concurrent pipeline and report speedup deltas")
+		verbose = flag.Bool("v", false, "print communication counters")
+		list    = flag.Bool("list", false, "list DUTs, workloads, and bugs")
 	)
 	flag.Parse()
 
@@ -56,13 +61,29 @@ func main() {
 	wl.TargetInstrs = *instrs
 
 	var hooks arch.Hooks
+	var freshHooks func() arch.Hooks
 	if *bugID != "" {
 		b, ok := bugs.ByID(*bugID)
 		if !ok {
 			exitOn(fmt.Errorf("unknown bug %q", *bugID))
 		}
 		hooks = b.Hooks(0)
+		freshHooks = func() arch.Hooks { return b.Hooks(0) }
 		fmt.Printf("injecting %s (%s): %s\n", b.ID, b.PR, b.Description)
+	}
+
+	if *executed {
+		cmp, err := cosim.CompareModes(cosim.Params{
+			DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed, Hooks: hooks,
+		}, freshHooks)
+		exitOn(err)
+		printComparison(cmp)
+		for _, row := range cmp.Rows {
+			if row.Modeled.Mismatch != nil || row.Executed.Mismatch != nil {
+				os.Exit(2)
+			}
+		}
+		return
 	}
 
 	res, err := cosim.Run(cosim.Params{
@@ -119,6 +140,36 @@ func pickPlatform(name string, threads int) (platform.Platform, error) {
 		return platform.Verilator(threads), nil
 	}
 	return platform.Platform{}, fmt.Errorf("unknown platform %q", name)
+}
+
+// printComparison renders the modeled-vs-executed table: the analytic model
+// predicts speedups from the platform cost model; the executed pipeline
+// measures how much wall-clock overlap the concurrency achieves on this host.
+func printComparison(cmp *cosim.ModeComparison) {
+	fmt.Println("Modeled (analytic) vs executed (concurrent pipeline):")
+	header := []string{"Config", "Modeled speed", "Modeled speedup",
+		"Executed wall", "Executed speedup", "Overlap", "Backpressure", "Verdict"}
+	var rows [][]string
+	for i, row := range cmp.Rows {
+		ex := row.Executed.Exec
+		verdict := "clean"
+		if row.Executed.Mismatch != nil {
+			verdict = "mismatch"
+		}
+		rows = append(rows, []string{
+			row.Config,
+			fmt.Sprintf("%.1f KHz", row.Modeled.SpeedHz/1e3),
+			fmt.Sprintf("%.2fx", cmp.ModeledSpeedup(i)),
+			ex.Wall.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", cmp.ExecutedSpeedup(i)),
+			fmt.Sprintf("%.0f%%", ex.OverlapShare()*100),
+			fmt.Sprint(ex.Backpressure),
+			verdict,
+		})
+	}
+	fmt.Print(stats.Table(header, rows))
+	fmt.Println("note: modeled speedups come from the platform cost model (simulated time);")
+	fmt.Println("      executed speedups are measured wall clock and depend on host cores")
 }
 
 func printOptions() {

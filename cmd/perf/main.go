@@ -14,8 +14,10 @@ func main() {
 	instrs := flag.Uint64("instrs", experiments.DefaultInstrs, "dynamic instructions per run")
 	prior := flag.Bool("prior", false, "also print the prior-work comparison (Table 7)")
 	platforms := flag.Bool("platforms", false, "also print the platform overview (Table 2)")
+	workers := flag.Int("workers", 0, "concurrent co-simulations per sweep (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	experiments.Workers = *workers
 	fmt.Println(experiments.Figure13(*instrs))
 	if *prior {
 		fmt.Println(experiments.Table7(*instrs))

@@ -41,6 +41,7 @@ import (
 	"repro/internal/checker"
 	"repro/internal/cosim"
 	"repro/internal/dut"
+	"repro/internal/pipeline"
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/squash"
@@ -62,6 +63,12 @@ type (
 	ReplayReport = replay.Report
 	// FusionStats exposes the Squash performance counters.
 	FusionStats = squash.Stats
+	// ExecMetrics is the wall-clock measurement of an executed
+	// (Options.Executed) concurrent run: producer/consumer busy time,
+	// overlap, transfers, and backpressure events.
+	ExecMetrics = pipeline.Metrics
+	// ModeComparison pairs modeled and executed results per configuration.
+	ModeComparison = cosim.ModeComparison
 )
 
 // Configuration types.
@@ -82,6 +89,20 @@ type (
 
 // Run executes one co-simulation end to end.
 func Run(p Params) (*Result, error) { return cosim.Run(p) }
+
+// RunConcurrent executes independent co-simulations on a bounded worker
+// pool, returning results in input order (workers ≤ 0 selects GOMAXPROCS).
+func RunConcurrent(ps []Params, workers int) ([]*Result, error) {
+	return cosim.RunConcurrent(ps, workers)
+}
+
+// CompareModes runs every artifact configuration through both the analytic
+// model and the executed concurrent pipeline and reports modeled vs
+// measured speedups. freshHooks (optional, may be nil) rebuilds stateful
+// bug-injection hooks before each of the eight runs.
+func CompareModes(p Params, freshHooks func() Hooks) (*ModeComparison, error) {
+	return cosim.CompareModes(p, freshHooks)
+}
 
 // ParseConfig resolves an artifact configuration name: Z (baseline),
 // EB (+Batch), EBIN (+NonBlock), EBINSD (+Squash).

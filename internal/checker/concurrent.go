@@ -1,0 +1,49 @@
+package checker
+
+import "sync"
+
+// Concurrency contract: a Checker and its CoreCheckers are not internally
+// synchronized, but cores are fully independent — each CoreChecker owns its
+// reference model and counters and touches no shared state. A concurrent
+// consumer (the executed pipeline) may therefore drive different cores from
+// different goroutines, as long as each core's event stream stays on one
+// goroutine and mismatch reporting goes through a Collector.
+
+// Collector accumulates mismatches reported by concurrently-running
+// per-core checkers and resolves the deterministic winner: the mismatch
+// with the lowest sequence number (ties broken by core id). This makes a
+// parallel consumer agree with the sequential checking order, where the
+// earliest divergence in the stream always aborts the run first.
+type Collector struct {
+	mu    sync.Mutex
+	first *Mismatch
+	count int
+}
+
+// Offer reports one mismatch; nil is ignored. Safe for concurrent use.
+func (c *Collector) Offer(m *Mismatch) {
+	if m == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+	if c.first == nil || m.Seq < c.first.Seq ||
+		(m.Seq == c.first.Seq && m.Core < c.first.Core) {
+		c.first = m
+	}
+}
+
+// First returns the winning mismatch, or nil if none was offered.
+func (c *Collector) First() *Mismatch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.first
+}
+
+// Count returns how many mismatches were offered in total.
+func (c *Collector) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}

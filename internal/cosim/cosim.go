@@ -23,6 +23,7 @@ import (
 	"repro/internal/dut"
 	"repro/internal/event"
 	"repro/internal/loggp"
+	"repro/internal/pipeline"
 	"repro/internal/platform"
 	"repro/internal/replay"
 	"repro/internal/squash"
@@ -36,6 +37,14 @@ type Options struct {
 	Batch       bool
 	NonBlocking bool
 	Squash      bool
+
+	// Executed runs the co-simulation as a real concurrent pipeline
+	// (internal/pipeline): DUT producer, link, and checker consumer in
+	// separate goroutines, with NonBlocking mapped to a bounded in-flight
+	// queue and blocking mode to a per-transfer handshake. The analytic
+	// (modeled) time accounting still runs; Result.Exec additionally
+	// reports the measured wall-clock overlap.
+	Executed bool
 
 	// Ablations.
 	CoupleOrder bool // order-coupled fusion (existing schemes)
@@ -132,6 +141,13 @@ type Result struct {
 
 	// Squash counters (§5 tuning toolkit).
 	Fusion squash.Stats
+
+	// Executed-pipeline measurements (Options.Executed only): real
+	// wall-clock concurrency of the producer/link/consumer goroutines.
+	Exec *pipeline.Metrics
+	// ExecutedHz is Cycles divided by measured wall-clock time — the
+	// host-side throughput of the executed pipeline (not simulated time).
+	ExecutedHz float64
 }
 
 // Speedup returns this result's speed relative to a baseline.
@@ -168,7 +184,11 @@ func Run(p Params) (*Result, error) {
 
 	r := &runner{p: p, opt: opt, d: d, chk: chk, link: link, res: res, enabled: enabled}
 	r.setup()
-	if err := r.loop(); err != nil {
+	loop := r.loop
+	if opt.Executed {
+		loop = r.loopExecuted
+	}
+	if err := loop(); err != nil {
 		return nil, err
 	}
 	r.finish(dutHz)
@@ -288,8 +308,13 @@ func (r *runner) hardwareSide(recs []event.Record) ([]wire.Item, error) {
 }
 
 // transport moves items across the link per the configured mode and hands
-// them to the software side.
+// them to the software side. Once a mismatch stops the run, nothing further
+// is transferred or checked: the co-simulation aborts at the first
+// divergence, like the lockstep path and the executed pipeline.
 func (r *runner) transport(items []wire.Item, flush bool) error {
+	if r.stop {
+		return nil
+	}
 	switch {
 	case r.opt.Batch && r.opt.FixedOffset:
 		pkts, err := r.fixed.AddCycle(items)
@@ -300,6 +325,9 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 			pkts = append(pkts, r.fixed.Flush()...)
 		}
 		for _, pkt := range pkts {
+			if r.stop {
+				return nil
+			}
 			r.link.Send(len(pkt.Buf), pkt.Events, pkt.Instrs)
 			if err := r.fixedReceive(pkt); err != nil {
 				return err
@@ -311,6 +339,9 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 			pkts = append(pkts, r.packer.Flush()...)
 		}
 		for _, pkt := range pkts {
+			if r.stop {
+				return nil
+			}
 			r.link.Send(len(pkt.Buf), pkt.Events, pkt.Instrs)
 			rx, err := r.unpacker.AddPacket(pkt.Buf)
 			if err != nil {
@@ -320,7 +351,7 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 				return err
 			}
 		}
-		if flush {
+		if flush && !r.stop {
 			if err := r.software(r.unpacker.Flush()); err != nil {
 				return err
 			}
@@ -328,6 +359,9 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 	default:
 		// Per-event transfers (one DPI-C call per event, paper §2.2).
 		for _, it := range items {
+			if r.stop {
+				return nil
+			}
 			r.link.Send(it.BaselineWireSize(), 1, it.InstrCount())
 			if err := r.software([]wire.Item{it}); err != nil {
 				return err
@@ -338,18 +372,14 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 }
 
 func (r *runner) fixedReceive(pkt batch.Packet) error {
-	r.fixedRx = append(r.fixedRx, pkt.Buf[:pkt.Used]...)
-	frameSize := r.fixed.Layout.FrameSize
-	n := len(r.fixedRx) / frameSize * frameSize
-	if n == 0 {
-		return nil
-	}
-	frames, err := batch.UnpackFixedStream(r.fixed.Layout, r.fixedRx[:n])
+	frames, err := r.fixedFrames(pkt)
 	if err != nil {
 		return err
 	}
-	r.fixedRx = append(r.fixedRx[:0], r.fixedRx[n:]...)
 	for _, items := range frames {
+		if r.stop {
+			return nil
+		}
 		if err := r.software(items); err != nil {
 			return err
 		}
@@ -357,19 +387,43 @@ func (r *runner) fixedReceive(pkt batch.Packet) error {
 	return nil
 }
 
+// fixedFrames appends one fixed-offset packet to the reassembly buffer and
+// returns the frames it completes.
+func (r *runner) fixedFrames(pkt batch.Packet) ([][]wire.Item, error) {
+	r.fixedRx = append(r.fixedRx, pkt.Buf[:pkt.Used]...)
+	frameSize := r.fixed.Layout.FrameSize
+	n := len(r.fixedRx) / frameSize * frameSize
+	if n == 0 {
+		return nil, nil
+	}
+	frames, err := batch.UnpackFixedStream(r.fixed.Layout, r.fixedRx[:n])
+	if err != nil {
+		return nil, err
+	}
+	r.fixedRx = append(r.fixedRx[:0], r.fixedRx[n:]...)
+	return frames, nil
+}
+
+// checkItem runs one wire item through the software checking path — the
+// Squash reorderer or the direct per-event checker.
+func (r *runner) checkItem(it wire.Item) (*checker.Mismatch, error) {
+	if r.opt.Squash {
+		return r.desq.Process(it), nil
+	}
+	rec, err := wire.ToRecord(it)
+	if err != nil {
+		return nil, err
+	}
+	return r.chk.Process(rec), nil
+}
+
 // software runs the checker (directly or through the Squash reorderer) and
 // triggers Replay on mismatch.
 func (r *runner) software(items []wire.Item) error {
 	for _, it := range items {
-		var m *checker.Mismatch
-		if r.opt.Squash {
-			m = r.desq.Process(it)
-		} else {
-			rec, err := wire.ToRecord(it)
-			if err != nil {
-				return err
-			}
-			m = r.chk.Process(rec)
+		m, err := r.checkItem(it)
+		if err != nil {
+			return err
 		}
 		if m != nil {
 			r.onMismatch(m)
@@ -460,6 +514,9 @@ func (r *runner) finish(dutHz float64) {
 	}
 	if r.packer != nil {
 		res.PacketUtilation = r.packer.Utilization()
+	}
+	if res.Exec != nil && res.Exec.Wall > 0 {
+		res.ExecutedHz = float64(res.Cycles) / res.Exec.Wall.Seconds()
 	}
 	for _, f := range r.fusers {
 		res.Fusion.Windows += f.Stats.Windows

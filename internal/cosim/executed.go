@@ -1,0 +1,307 @@
+package cosim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/batch"
+	"repro/internal/checker"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// Executed co-simulation (Options.Executed): instead of the single-threaded
+// loop that models hardware/software overlap analytically, the run is
+// staged onto internal/pipeline — the DUT producer (monitor + acceleration
+// unit + modeled link accounting), the link, and the checker consumer run
+// in separate goroutines. Blocking configurations use the per-transfer
+// handshake; NonBlocking streams through a bounded queue sized by the
+// platform's QueueDepth. On multi-core DUTs the NonBlocking consumer
+// additionally fans items out to one checking goroutine per core (the
+// checker's per-core independence contract, see internal/checker).
+//
+// The modeled simulated-time accounting is unchanged — the producer still
+// drives comm.Link — so an executed run reports both the analytic speed
+// (SpeedHz) and the measured wall-clock concurrency (Exec, ExecutedHz).
+
+// xfer is one transfer crossing the executed pipeline: a packed packet
+// (Batch/fixed-offset modes) or bare wire items (per-event baseline).
+type xfer struct {
+	pkt   *batch.Packet
+	items []wire.Item
+}
+
+// hwProducer is the hardware-side pipeline stage: it steps the DUT,
+// applies the acceleration unit, accounts the modeled link, and emits one
+// transfer per call.
+type hwProducer struct {
+	r        *runner
+	pending  []xfer
+	finished bool // the DUT reached its trap
+}
+
+func (p *hwProducer) next() (xfer, bool, error) {
+	r := p.r
+	for len(p.pending) == 0 {
+		if p.finished {
+			return xfer{}, false, nil
+		}
+		if r.d.CycleCount >= r.p.MaxCycles {
+			return xfer{}, false, fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
+		}
+		recs, done := r.d.StepCycle()
+		r.link.AdvanceCycle()
+		if r.p.Trace != nil {
+			if err := r.p.Trace.WriteCycle(r.d.CycleCount, recs); err != nil {
+				return xfer{}, false, err
+			}
+		}
+		items, err := r.hardwareSide(recs)
+		if err != nil {
+			return xfer{}, false, err
+		}
+		xs, err := p.pack(items, false)
+		if err != nil {
+			return xfer{}, false, err
+		}
+		p.pending = xs
+		if done {
+			p.finished = true
+			var tail []wire.Item
+			for _, f := range r.fusers {
+				tail = append(tail, f.Flush()...)
+			}
+			xs, err := p.pack(tail, true)
+			if err != nil {
+				return xfer{}, false, err
+			}
+			p.pending = append(p.pending, xs...)
+		}
+	}
+	x := p.pending[0]
+	p.pending = p.pending[1:]
+	return x, true, nil
+}
+
+// pack applies the configured transport packing and the modeled link cost,
+// mirroring runner.transport's hardware half.
+func (p *hwProducer) pack(items []wire.Item, flush bool) ([]xfer, error) {
+	r := p.r
+	var out []xfer
+	switch {
+	case r.opt.Batch && r.opt.FixedOffset:
+		pkts, err := r.fixed.AddCycle(items)
+		if err != nil {
+			return nil, err
+		}
+		if flush {
+			pkts = append(pkts, r.fixed.Flush()...)
+		}
+		for i := range pkts {
+			r.link.Send(len(pkts[i].Buf), pkts[i].Events, pkts[i].Instrs)
+			out = append(out, xfer{pkt: &pkts[i]})
+		}
+	case r.opt.Batch:
+		pkts := r.packer.AddCycle(items)
+		if flush {
+			pkts = append(pkts, r.packer.Flush()...)
+		}
+		for i := range pkts {
+			r.link.Send(len(pkts[i].Buf), pkts[i].Events, pkts[i].Instrs)
+			out = append(out, xfer{pkt: &pkts[i]})
+		}
+	default:
+		for _, it := range items {
+			r.link.Send(it.BaselineWireSize(), 1, it.InstrCount())
+			out = append(out, xfer{items: []wire.Item{it}})
+		}
+	}
+	return out, nil
+}
+
+// swConsumer is the software-side pipeline stage: unpacking plus checking,
+// with per-core fan-out on multi-core NonBlocking runs. Mismatches from any
+// checking goroutine go through a checker.Collector, which resolves the
+// same winner the sequential stream order would.
+type swConsumer struct {
+	r   *runner
+	col checker.Collector
+
+	fanout  bool
+	chans   []chan wire.Item
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+
+	errMu sync.Mutex
+	err   error
+}
+
+func newSWConsumer(r *runner) *swConsumer {
+	c := &swConsumer{r: r}
+	if r.p.DUT.Cores > 1 && r.opt.NonBlocking {
+		c.fanout = true
+		c.chans = make([]chan wire.Item, r.p.DUT.Cores)
+		for i := range c.chans {
+			ch := make(chan wire.Item, 1024)
+			c.chans[i] = ch
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				for it := range ch {
+					if c.stopped.Load() {
+						continue // drain so the router never blocks
+					}
+					m, err := c.r.checkItem(it)
+					if err != nil {
+						c.fail(err)
+						continue
+					}
+					if m != nil {
+						c.col.Offer(m)
+						c.stopped.Store(true)
+					}
+				}
+			}()
+		}
+	}
+	return c
+}
+
+func (c *swConsumer) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+	c.stopped.Store(true)
+}
+
+func (c *swConsumer) firstErr() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+// sink consumes one transfer: unpack, then check (inline or fanned out).
+func (c *swConsumer) sink(x xfer) (bool, error) {
+	items, err := c.decode(x)
+	if err != nil {
+		return false, err
+	}
+	if !c.fanout {
+		return c.checkInline(items)
+	}
+	for _, it := range items {
+		if c.stopped.Load() {
+			break
+		}
+		if int(it.Core) >= len(c.chans) {
+			c.col.Offer(&checker.Mismatch{Core: it.Core, Detail: "item for unknown core"})
+			c.stopped.Store(true)
+			break
+		}
+		c.chans[it.Core] <- it
+	}
+	return c.stopped.Load(), c.firstErr()
+}
+
+// decode recovers wire items from a transfer, mirroring runner.transport's
+// software half (meta-guided unpacking or fixed-frame reassembly).
+func (c *swConsumer) decode(x xfer) ([]wire.Item, error) {
+	r := c.r
+	switch {
+	case x.pkt == nil:
+		return x.items, nil
+	case r.opt.FixedOffset:
+		frames, err := r.fixedFrames(*x.pkt)
+		if err != nil {
+			return nil, err
+		}
+		var items []wire.Item
+		for _, f := range frames {
+			items = append(items, f...)
+		}
+		return items, nil
+	default:
+		return r.unpacker.AddPacket(x.pkt.Buf)
+	}
+}
+
+func (c *swConsumer) checkInline(items []wire.Item) (bool, error) {
+	for _, it := range items {
+		m, err := c.r.checkItem(it)
+		if err != nil {
+			return false, err
+		}
+		if m != nil {
+			c.col.Offer(m)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// close joins the per-core checking goroutines.
+func (c *swConsumer) close() {
+	for _, ch := range c.chans {
+		close(ch)
+	}
+	c.wg.Wait()
+}
+
+// finish runs the software-side end-of-stream flush (unpacker tail, then
+// the reorderer's held-back checks), mirroring runner.flushAll.
+func (c *swConsumer) finish() error {
+	r := c.r
+	if r.opt.Batch && !r.opt.FixedOffset {
+		if _, err := c.checkInline(r.unpacker.Flush()); err != nil {
+			return err
+		}
+	}
+	if r.opt.Squash && c.col.First() == nil {
+		if m := r.desq.Flush(); m != nil {
+			c.col.Offer(m)
+		}
+	}
+	return nil
+}
+
+// loopExecuted is the executed-mode counterpart of runner.loop: it drives
+// the concurrent pipeline to completion, then applies mismatch/replay and
+// verdict accounting exactly as the sequential path would.
+func (r *runner) loopExecuted() error {
+	prod := &hwProducer{r: r}
+	cons := newSWConsumer(r)
+	m, err := pipeline.Run(prod.next, cons.sink, pipeline.Config{
+		NonBlocking: r.opt.NonBlocking,
+		QueueDepth:  r.p.Platform.QueueDepth,
+	})
+	cons.close()
+	if err == nil {
+		err = cons.firstErr()
+	}
+	if err != nil {
+		return err
+	}
+	r.res.Exec = m
+
+	if mm := cons.col.First(); mm != nil {
+		// The producer has joined: replay's buffer reads and the link's
+		// replay-traffic accounting are single-threaded again.
+		r.onMismatch(mm)
+		return nil
+	}
+	if !prod.finished {
+		return fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
+	}
+	if err := cons.finish(); err != nil {
+		return err
+	}
+	r.res.Finished = true
+	_, r.res.TrapCode = r.chk.Finished()
+	if mm := cons.col.First(); mm != nil {
+		r.onMismatch(mm)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package cosim
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bugs"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// executedParams builds one executed-mode run setup.
+func executedParams(cfg string, executed bool) Params {
+	opt, err := ParseConfig(cfg)
+	if err != nil {
+		panic(err)
+	}
+	opt.Executed = executed
+	return Params{
+		DUT: dut.XiangShanDefault(), Platform: platform.Palladium(), Opt: opt,
+		Workload: scaled(workload.LinuxBoot(), 20_000), Seed: 7,
+	}
+}
+
+// TestExecutedCleanAllConfigs: every configuration must finish cleanly in
+// executed mode with the same verdict and cycle count as the modeled loop —
+// the two loops consume the identical event stream.
+func TestExecutedCleanAllConfigs(t *testing.T) {
+	for _, cfg := range ConfigNames() {
+		cfg := cfg
+		t.Run(cfg, func(t *testing.T) {
+			seq := run(t, executedParams(cfg, false))
+			exe := run(t, executedParams(cfg, true))
+			if exe.Mismatch != nil {
+				t.Fatalf("spurious executed mismatch: %v", exe.Mismatch)
+			}
+			if !exe.Finished || exe.TrapCode != seq.TrapCode {
+				t.Fatalf("executed verdict (fin=%v code=%d) != modeled (fin=%v code=%d)",
+					exe.Finished, exe.TrapCode, seq.Finished, seq.TrapCode)
+			}
+			if exe.Cycles != seq.Cycles || exe.Instrs != seq.Instrs {
+				t.Errorf("executed ran %d cycles/%d instrs, modeled %d/%d",
+					exe.Cycles, exe.Instrs, seq.Cycles, seq.Instrs)
+			}
+			if exe.Invokes != seq.Invokes || exe.WireBytes != seq.WireBytes {
+				t.Errorf("executed link traffic (%d invokes, %d B) != modeled (%d, %d B)",
+					exe.Invokes, exe.WireBytes, seq.Invokes, seq.WireBytes)
+			}
+			if exe.Exec == nil || exe.Exec.Transfers == 0 {
+				t.Fatal("executed run reported no pipeline metrics")
+			}
+			if exe.ExecutedHz <= 0 {
+				t.Error("ExecutedHz not computed")
+			}
+			if seq.Exec != nil {
+				t.Error("modeled run unexpectedly carries pipeline metrics")
+			}
+		})
+	}
+}
+
+// TestExecutedDualCoreFanout exercises the per-core consumer fan-out with
+// the full Squash stack under a multi-core DUT (run with -race in CI).
+func TestExecutedDualCoreFanout(t *testing.T) {
+	opt, _ := ParseConfig("EBINSD")
+	opt.Executed = true
+	res := run(t, Params{
+		DUT: dut.XiangShanDefaultDual(), Platform: platform.Palladium(), Opt: opt,
+		Workload: scaled(workload.LinuxBoot(), 16_000), Seed: 11,
+	})
+	if res.Mismatch != nil {
+		t.Fatalf("spurious dual-core mismatch: %v", res.Mismatch)
+	}
+	if !res.Finished {
+		t.Fatal("dual-core executed run did not finish")
+	}
+}
+
+// TestExecutedBugEquivalence is the concurrent-checking gate: for every bug
+// in the library, the executed pipeline must report the same mismatch as
+// the sequential loop — same core, kind, and program counter — under both
+// the per-event baseline and the fully fused configuration.
+func TestExecutedBugEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bug sweep is long")
+	}
+	for _, cfg := range []string{"Z", "EBINSD"} {
+		for _, b := range bugs.Library() {
+			b := b
+			cfg := cfg
+			t.Run(cfg+"/"+b.ID, func(t *testing.T) {
+				mk := func(executed bool) *Result {
+					p := executedParams(cfg, executed)
+					p.Workload = scaled(workload.LinuxBoot(), 40_000)
+					p.Seed = 3
+					p.Hooks = b.Hooks(0)
+					return run(t, p)
+				}
+				seq := mk(false)
+				exe := mk(true)
+				if (seq.Mismatch == nil) != (exe.Mismatch == nil) {
+					t.Fatalf("detection disagrees: modeled=%v executed=%v", seq.Mismatch, exe.Mismatch)
+				}
+				if seq.Mismatch == nil {
+					t.Skipf("bug %s escapes this workload in both modes", b.ID)
+				}
+				sm, em := seq.Mismatch, exe.Mismatch
+				if sm.Core != em.Core || sm.Kind != em.Kind || sm.Seq != em.Seq || sm.PC != em.PC {
+					t.Errorf("mismatch identity differs:\n modeled : %v\n executed: %v", sm, em)
+				}
+				if cfg == "EBINSD" && (seq.Replay == nil) != (exe.Replay == nil) {
+					t.Errorf("replay disagreement: modeled=%v executed=%v", seq.Replay != nil, exe.Replay != nil)
+				}
+			})
+		}
+	}
+}
+
+// TestExecutedOverlapSpeedup is the acceptance measurement: with real
+// concurrency, the non-blocking configuration (EBIN) must beat its
+// blocking counterpart (EB) on wall-clock time, because DUT emulation and
+// reference checking genuinely overlap.
+func TestExecutedOverlapSpeedup(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 || runtime.NumCPU() < 2 {
+		t.Skip("needs ≥2 CPUs to observe overlap")
+	}
+	mk := func(cfg string) *Result {
+		p := executedParams(cfg, true)
+		p.Workload = scaled(workload.LinuxBoot(), 60_000)
+		return run(t, p)
+	}
+	best := 0.0
+	for attempt := 0; attempt < 3 && best <= 1.0; attempt++ {
+		eb := mk("EB")
+		ebin := mk("EBIN")
+		if ebin.Exec == nil || eb.Exec == nil {
+			t.Fatal("missing pipeline metrics")
+		}
+		speedup := eb.Exec.Wall.Seconds() / ebin.Exec.Wall.Seconds()
+		t.Logf("attempt %d: EB wall %v, EBIN wall %v, speedup %.2fx (overlap %.0f%%, backpressure %d)",
+			attempt, eb.Exec.Wall, ebin.Exec.Wall, speedup,
+			ebin.Exec.OverlapShare()*100, ebin.Exec.Backpressure)
+		if speedup > best {
+			best = speedup
+		}
+		if ebin.Exec.Overlap() == 0 {
+			t.Error("EBIN executed run measured zero overlap")
+		}
+	}
+	if best <= 1.0 {
+		t.Errorf("executed EBIN never beat blocking EB (best %.2fx)", best)
+	}
+}
+
+// TestCompareModesFreshHooks: bug triggers are stateful counters, so the
+// comparison must rebuild the hooks before every one of its eight runs —
+// with fresh hooks, every configuration detects the bug in both modes.
+func TestCompareModesFreshHooks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bug comparison is long")
+	}
+	b, ok := bugs.ByID("load-sign-extension")
+	if !ok {
+		t.Fatal("bug missing from library")
+	}
+	p := executedParams("Z", false)
+	p.Workload = scaled(workload.LinuxBoot(), 120_000)
+	p.Seed = 21
+	cmp, err := CompareModes(p, func() arch.Hooks { return b.Hooks(0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range cmp.Rows {
+		if row.Modeled.Mismatch == nil || row.Executed.Mismatch == nil {
+			t.Errorf("%s: bug undetected (modeled=%v executed=%v)",
+				row.Config, row.Modeled.Mismatch, row.Executed.Mismatch)
+		}
+	}
+}
+
+// TestRunConcurrentMatchesSequential: the sweep runner must return the
+// same results as running each configuration inline, in input order.
+func TestRunConcurrentMatchesSequential(t *testing.T) {
+	var ps []Params
+	for _, cfg := range ConfigNames() {
+		ps = append(ps, executedParams(cfg, false))
+	}
+	got, err := RunConcurrent(ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		want := run(t, p)
+		if got[i] == nil {
+			t.Fatalf("row %d missing", i)
+		}
+		if got[i].Config != want.Config || got[i].SpeedHz != want.SpeedHz ||
+			got[i].Cycles != want.Cycles || got[i].WireBytes != want.WireBytes {
+			t.Errorf("row %d (%s): concurrent result diverges from sequential", i, want.Config)
+		}
+	}
+}
+
+// TestRunConcurrentPropagatesError: a failing run must surface its error.
+func TestRunConcurrentPropagatesError(t *testing.T) {
+	bad := executedParams("Z", false)
+	bad.MaxCycles = 10 // guaranteed to abort
+	_, err := RunConcurrent([]Params{executedParams("Z", false), bad}, 2)
+	if err == nil {
+		t.Fatal("expected an error from the aborted run")
+	}
+}
+
+// TestCompareModes: the comparison helper must produce all four rows with
+// executed metrics and agreeing verdicts.
+func TestCompareModes(t *testing.T) {
+	p := executedParams("Z", false)
+	p.Workload = scaled(workload.LinuxBoot(), 8_000)
+	cmp, err := CompareModes(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(cmp.Rows))
+	}
+	for i, row := range cmp.Rows {
+		if row.Modeled.Mismatch != nil || row.Executed.Mismatch != nil {
+			t.Errorf("%s: spurious mismatch", row.Config)
+		}
+		if row.Executed.Exec == nil {
+			t.Errorf("%s: executed row missing metrics", row.Config)
+		}
+		if i > 0 && cmp.ModeledSpeedup(i) <= 0 {
+			t.Errorf("%s: no modeled speedup computed", row.Config)
+		}
+		if cmp.ExecutedSpeedup(i) <= 0 {
+			t.Errorf("%s: no executed speedup computed", row.Config)
+		}
+	}
+}

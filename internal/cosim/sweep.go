@@ -1,0 +1,146 @@
+package cosim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/arch"
+)
+
+// RunConcurrent executes a batch of independent co-simulations on a bounded
+// worker pool and returns their results in input order. Every run owns its
+// full state (workload image clones, DUT, reference models), so runs never
+// share memory — this is the sweep runner behind multi-configuration
+// experiments (configs × workloads × DUTs), scaling them across host cores.
+//
+// workers ≤ 0 selects GOMAXPROCS. The first error encountered is returned;
+// remaining queued runs are skipped (in-flight ones complete).
+func RunConcurrent(ps []Params, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	results := make([]*Result, len(ps))
+	if len(ps) == 0 {
+		return results, nil
+	}
+
+	jobs := make(chan int)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Run(ps[i])
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					results[i] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range ps {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, firstErr
+}
+
+// ModeRow pairs the analytic (modeled) and executed results of one named
+// configuration.
+type ModeRow struct {
+	Config   string
+	Modeled  *Result
+	Executed *Result
+}
+
+// ModeComparison reports modeled-vs-executed behavior across the artifact
+// configurations for one DUT/platform/workload setup.
+type ModeComparison struct {
+	Rows []ModeRow
+}
+
+// ConfigNames lists the artifact configurations in optimization order.
+func ConfigNames() []string { return []string{"Z", "EB", "EBIN", "EBINSD"} }
+
+// CompareModes runs every named configuration twice — once through the
+// analytic model and once through the executed concurrent pipeline — and
+// reports both. The modeled runs predict the speedup from the platform cost
+// model; the executed runs measure the wall-clock overlap the concurrency
+// actually achieves on this host.
+//
+// freshHooks, when non-nil, rebuilds the injection hooks before every run
+// and overrides p.Hooks. Bug triggers are stateful counters, so sharing one
+// hooks value across the eight runs would fire the corruption in only the
+// first run to reach the trigger threshold.
+func CompareModes(p Params, freshHooks func() arch.Hooks) (*ModeComparison, error) {
+	cmp := &ModeComparison{}
+	ablations := p.Opt
+	for _, name := range ConfigNames() {
+		opt, err := ParseConfig(name)
+		if err != nil {
+			return nil, err
+		}
+		opt.CoupleOrder = ablations.CoupleOrder
+		opt.FixedOffset = ablations.FixedOffset
+		opt.MaxFuse = ablations.MaxFuse
+
+		p.Opt = opt
+		if freshHooks != nil {
+			p.Hooks = freshHooks()
+		}
+		modeled, err := Run(p)
+		if err != nil {
+			return nil, err
+		}
+		p.Opt.Executed = true
+		if freshHooks != nil {
+			p.Hooks = freshHooks()
+		}
+		executed, err := Run(p)
+		if err != nil {
+			return nil, err
+		}
+		cmp.Rows = append(cmp.Rows, ModeRow{Config: name, Modeled: modeled, Executed: executed})
+	}
+	return cmp, nil
+}
+
+// ModeledSpeedup returns row i's modeled (simulated-time) speedup over the
+// modeled baseline (row 0).
+func (c *ModeComparison) ModeledSpeedup(i int) float64 {
+	if len(c.Rows) == 0 || c.Rows[0].Modeled.SpeedHz == 0 {
+		return 0
+	}
+	return c.Rows[i].Modeled.SpeedHz / c.Rows[0].Modeled.SpeedHz
+}
+
+// ExecutedSpeedup returns row i's measured wall-clock speedup over the
+// executed baseline (row 0): baselineWall / rowWall.
+func (c *ModeComparison) ExecutedSpeedup(i int) float64 {
+	if len(c.Rows) == 0 {
+		return 0
+	}
+	base, row := c.Rows[0].Executed.Exec, c.Rows[i].Executed.Exec
+	if base == nil || row == nil || row.Wall <= 0 {
+		return 0
+	}
+	return base.Wall.Seconds() / row.Wall.Seconds()
+}

@@ -59,6 +59,22 @@ func mustRun(p cosim.Params) *cosim.Result {
 	return res
 }
 
+// Workers bounds the sweep parallelism of the experiments that fan out over
+// configurations × platforms × DUTs (0 selects GOMAXPROCS). The perf and
+// breakdown commands expose it as -workers.
+var Workers = 0
+
+// runAll executes a batch of independent runs on the sweep worker pool
+// (cosim.RunConcurrent) and returns results in input order, panicking on
+// harness errors like mustRun.
+func runAll(ps []cosim.Params) []*cosim.Result {
+	rs, err := cosim.RunConcurrent(ps, Workers)
+	if err != nil {
+		panic(fmt.Sprintf("experiment run failed: %v", err))
+	}
+	return rs
+}
+
 func kHz(hz float64) string {
 	return fmt.Sprintf("%.1f KHz", hz/1e3)
 }

@@ -86,10 +86,16 @@ func Figure13(instrs uint64) *Report {
 		Header: []string{"DUT", "Verilator-16t", "Baseline/PLDM", "DiffTest-H/PLDM", "DUT-only/PLDM", "vs base", "vs Verilator"},
 	}
 	wl := scale(workload.LinuxBoot(), instrs)
+	var ps []cosim.Params
 	for _, d := range dut.Configs() {
-		veri := mustRun(baseParams(d, platform.Verilator(16), "Z", wl))
-		base := mustRun(baseParams(d, platform.Palladium(), "Z", wl))
-		dth := mustRun(baseParams(d, platform.Palladium(), "EBINSD", wl))
+		ps = append(ps,
+			baseParams(d, platform.Verilator(16), "Z", wl),
+			baseParams(d, platform.Palladium(), "Z", wl),
+			baseParams(d, platform.Palladium(), "EBINSD", wl))
+	}
+	rs := runAll(ps)
+	for i, d := range dut.Configs() {
+		veri, base, dth := rs[3*i], rs[3*i+1], rs[3*i+2]
 		r.Rows = append(r.Rows, []string{
 			d.Name,
 			speedStr(veri.SpeedHz), speedStr(base.SpeedHz), speedStr(dth.SpeedHz),

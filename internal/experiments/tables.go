@@ -6,6 +6,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/area"
 	"repro/internal/bugs"
+	"repro/internal/cosim"
 	"repro/internal/dut"
 	"repro/internal/event"
 	"repro/internal/platform"
@@ -110,11 +111,18 @@ func Table5(instrs uint64) *Report {
 	rows := []struct{ label, cfg string }{
 		{"Baseline", "Z"}, {"+Batch", "EB"}, {"+NonBlock", "EBIN"}, {"+Squash", "EBINSD"},
 	}
+	var ps []cosim.Params
+	for _, rowDef := range rows {
+		for _, c := range cols {
+			ps = append(ps, baseParams(c.d, c.p, rowDef.cfg, scale(workload.LinuxBoot(), instrs)))
+		}
+	}
+	rs := runAll(ps)
 	base := make([]float64, len(cols))
 	for ri, rowDef := range rows {
 		cells := []string{rowDef.label}
 		for ci, c := range cols {
-			res := mustRun(baseParams(c.d, c.p, rowDef.cfg, scale(workload.LinuxBoot(), instrs)))
+			res := rs[ri*len(cols)+ci]
 			if ri == 0 {
 				base[ci] = res.SpeedHz
 			}
@@ -168,18 +176,6 @@ func Table7(instrs uint64) *Report {
 	}
 	ibiOpt := opt("EB")
 	ibiOpt.FixedOffset = true
-	ibi := mustRun(params(ibiDUT, awan, ibiOpt, wl))
-	r.Rows = append(r.Rows, []string{
-		"IBI-check [8]", awan.Name, "2+sync", pct(ibi.CommOverheadShare),
-		speedStr(ibi.DUTOnlyHz), speedStr(ibi.SpeedHz),
-	})
-
-	// SBS-check: same states, batched with hidden software latency.
-	sbs := mustRun(params(ibiDUT, awan, opt("EBIN"), wl))
-	r.Rows = append(r.Rows, []string{
-		"SBS-check [19]", awan.Name, "2+sync", pct(sbs.CommOverheadShare),
-		speedStr(sbs.DUTOnlyHz), speedStr(sbs.SpeedHz),
-	})
 
 	// Fromajo: FireSim at 100 MHz, 7 architectural state types, packed
 	// transfers without fusion.
@@ -193,19 +189,34 @@ func Table7(instrs uint64) *Report {
 		event.KindException, event.KindArchIntRegState, event.KindCSRState,
 		event.KindLoad,
 	}
-	fro := mustRun(params(froDUT, firesim, opt("EB"), wl))
+	// All five framework models are independent runs: sweep them on the
+	// worker pool, then render rows in presentation order.
+	rs := runAll([]cosim.Params{
+		params(ibiDUT, awan, ibiOpt, wl),
+		// SBS-check: same states, batched with hidden software latency.
+		params(ibiDUT, awan, opt("EBIN"), wl),
+		params(froDUT, firesim, opt("EB"), wl),
+		// DiffTest-H: the full 32-state stack on both platforms.
+		baseParams(dut.XiangShanDefault(), platform.Palladium(), "EBINSD", wl),
+		baseParams(dut.XiangShanDefault(), platform.FPGA(), "EBINSD", wl),
+	})
+	ibi, sbs, fro, dth, dthF := rs[0], rs[1], rs[2], rs[3], rs[4]
+	r.Rows = append(r.Rows, []string{
+		"IBI-check [8]", awan.Name, "2+sync", pct(ibi.CommOverheadShare),
+		speedStr(ibi.DUTOnlyHz), speedStr(ibi.SpeedHz),
+	})
+	r.Rows = append(r.Rows, []string{
+		"SBS-check [19]", awan.Name, "2+sync", pct(sbs.CommOverheadShare),
+		speedStr(sbs.DUTOnlyHz), speedStr(sbs.SpeedHz),
+	})
 	r.Rows = append(r.Rows, []string{
 		"Fromajo [56,57]", firesim.Name, "7", pct(fro.CommOverheadShare),
 		speedStr(fro.DUTOnlyHz), speedStr(fro.SpeedHz),
 	})
-
-	// DiffTest-H: the full 32-state stack on both platforms.
-	dth := mustRun(baseParams(dut.XiangShanDefault(), platform.Palladium(), "EBINSD", wl))
 	r.Rows = append(r.Rows, []string{
 		"DiffTest-H", "Palladium", "32", pct(dth.CommOverheadShare),
 		speedStr(dth.DUTOnlyHz), speedStr(dth.SpeedHz),
 	})
-	dthF := mustRun(baseParams(dut.XiangShanDefault(), platform.FPGA(), "EBINSD", wl))
 	r.Rows = append(r.Rows, []string{
 		"DiffTest-H", "FPGA", "32", pct(dthF.CommOverheadShare),
 		speedStr(dthF.DUTOnlyHz), speedStr(dthF.SpeedHz),

@@ -1,0 +1,221 @@
+// Package pipeline implements the executed co-simulation pipeline: the DUT
+// event producer, the communication link, and the REF+checker consumer run
+// as concurrent stages connected by bounded channels, so the NonBlock
+// overlap of paper §4.5 is *measured* from real wall-clock concurrency
+// instead of assumed by the analytic cost model.
+//
+// The stage graph mirrors the hardware:
+//
+//	producer ──chA──▶ link ──chB──▶ consumer
+//
+// In blocking mode (the traditional step-and-compare handshake) every
+// transfer carries an ack that the consumer closes only after checking
+// completes; the producer stalls on it, serializing the two sides exactly
+// like a blocking DPI-C call. In non-blocking mode the producer streams
+// into a bounded queue and stalls only when QueueDepth transfers are in
+// flight — the same backpressure semantics as internal/comm's modeled
+// in-flight queue, but enforced by real channel capacity.
+//
+// Run reports Metrics with per-stage busy times, so callers can compute the
+// achieved hardware/software overlap from wall-clock measurements.
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// Config selects the handshake mode and queue bound.
+type Config struct {
+	// NonBlocking streams transfers through a bounded queue; false gives
+	// the per-transfer blocking handshake.
+	NonBlocking bool
+	// QueueDepth bounds in-flight transfers in non-blocking mode (≤0 = 1).
+	// The effective in-flight bound is QueueDepth plus the handful of
+	// transfers held by the link and consumer stages themselves.
+	QueueDepth int
+}
+
+// Next produces the next transfer. ok=false ends the stream cleanly; a
+// non-nil error aborts the whole pipeline.
+type Next[T any] func() (t T, ok bool, err error)
+
+// Sink consumes one transfer. stop=true aborts the stream early (the
+// checker analog: a mismatch); a non-nil error aborts the pipeline.
+type Sink[T any] func(t T) (stop bool, err error)
+
+// Metrics reports one pipeline run's wall-clock accounting. Stage busy
+// times are accumulated inside the stage goroutines and must be read only
+// after Run returns.
+type Metrics struct {
+	Wall         time.Duration // end-to-end elapsed time
+	ProducerBusy time.Duration // time spent inside Next calls
+	ConsumerBusy time.Duration // time spent inside Sink calls
+
+	Transfers    uint64 // transfers forwarded by the link stage
+	Backpressure uint64 // producer sends that found the queue full
+	Stopped      bool   // the consumer aborted the stream (stop=true)
+}
+
+// Overlap returns the wall-clock time during which producer and consumer
+// were provably busy simultaneously: busy time that did not fit into the
+// elapsed window must have been concurrent.
+func (m *Metrics) Overlap() time.Duration {
+	over := m.ProducerBusy + m.ConsumerBusy - m.Wall
+	if over < 0 {
+		return 0
+	}
+	return over
+}
+
+// OverlapShare returns Overlap as a fraction of wall-clock time.
+func (m *Metrics) OverlapShare() float64 {
+	if m.Wall <= 0 {
+		return 0
+	}
+	return float64(m.Overlap()) / float64(m.Wall)
+}
+
+// envelope carries one transfer through the stages; ack is non-nil only in
+// blocking mode.
+type envelope[T any] struct {
+	t   T
+	ack chan struct{}
+}
+
+// Run drives the three-stage pipeline to completion and returns its
+// metrics. It returns the first stage error, if any; an early consumer stop
+// is not an error (Metrics.Stopped reports it).
+func Run[T any](next Next[T], sink Sink[T], cfg Config) (*Metrics, error) {
+	depth := cfg.QueueDepth
+	if depth < 1 {
+		depth = 1
+	}
+	var chA, chB chan envelope[T]
+	if cfg.NonBlocking {
+		chA = make(chan envelope[T], depth)
+		chB = make(chan envelope[T], 1)
+	} else {
+		chA = make(chan envelope[T])
+		chB = make(chan envelope[T])
+	}
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	m := &Metrics{}
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	// Stage 1: producer (the DUT + acceleration unit analog).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chA)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			t, ok, err := next()
+			m.ProducerBusy += time.Since(t0)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !ok {
+				return
+			}
+			e := envelope[T]{t: t}
+			if !cfg.NonBlocking {
+				e.ack = make(chan struct{})
+			}
+			if cfg.NonBlocking {
+				select {
+				case chA <- e:
+				default:
+					m.Backpressure++
+					select {
+					case chA <- e:
+					case <-stop:
+						return
+					}
+				}
+			} else {
+				select {
+				case chA <- e:
+				case <-stop:
+					return
+				}
+			}
+			if e.ack != nil {
+				// Step-and-compare: stall until the software side is done.
+				select {
+				case <-e.ack:
+				case <-stop:
+					return
+				}
+			}
+		}
+	}()
+
+	// Stage 2: link (forwards transfers; its bounded output is the
+	// in-flight queue's tail).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(chB)
+		for e := range chA {
+			m.Transfers++
+			select {
+			case chB <- e:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Stage 3: consumer (unpacker + checker analog).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for e := range chB {
+			t0 := time.Now()
+			stopReq, err := sink(e.t)
+			m.ConsumerBusy += time.Since(t0)
+			if e.ack != nil {
+				close(e.ack)
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			if stopReq {
+				m.Stopped = true
+				cancel()
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	m.Wall = time.Since(start)
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return m, err
+}

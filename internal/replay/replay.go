@@ -17,6 +17,7 @@ package replay
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/checker"
 	"repro/internal/event"
@@ -26,14 +27,20 @@ import (
 // Buffer is the hardware-side ring of original records awaiting potential
 // replay. Tokens identify records globally; old records are evicted as the
 // ring fills (they are only needed until their window checks clean).
+// The buffer is internally synchronized: in the executed pipeline the
+// hardware producer goroutine appends (Add) while the software consumer
+// reads ranges for replay (Range), mirroring the hardware's dual-ported
+// buffer RAM.
 type Buffer struct {
 	Cap int
 
+	mu    sync.Mutex
 	recs  []event.Record
 	first uint64 // token of recs[0]
 	next  uint64 // token of the next record to be added
 
-	// Bytes counts buffered payload for resource accounting.
+	// Bytes counts buffered payload for resource accounting. Guarded by
+	// mu; concurrent readers should use BufferedBytes.
 	Bytes uint64
 }
 
@@ -47,6 +54,8 @@ func NewBuffer(cap int) *Buffer {
 
 // Add buffers one cycle's records and returns the token of the first.
 func (b *Buffer) Add(recs []event.Record) (startToken uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	startToken = b.next
 	for _, r := range recs {
 		b.recs = append(b.recs, r)
@@ -66,14 +75,31 @@ func (b *Buffer) Add(recs []event.Record) (startToken uint64) {
 }
 
 // Len reports the number of buffered records.
-func (b *Buffer) Len() int { return len(b.recs) }
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recs)
+}
 
 // NextToken returns the token the next added record will get.
-func (b *Buffer) NextToken() uint64 { return b.next }
+func (b *Buffer) NextToken() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}
+
+// BufferedBytes returns the buffered payload volume.
+func (b *Buffer) BufferedBytes() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.Bytes
+}
 
 // Range retransmits the buffered records for one core with tokens in
 // [from, b.next). It reports an error if the range was evicted.
 func (b *Buffer) Range(core uint8, from uint64) ([]event.Record, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if from < b.first {
 		return nil, fmt.Errorf("replay: token %d evicted (buffer starts at %d)", from, b.first)
 	}

@@ -2,6 +2,7 @@ package squash
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/checker"
 	"repro/internal/derive"
@@ -25,8 +26,11 @@ type Desquasher struct {
 
 	// LateSkipped counts tagged checks that arrived after the reference
 	// model passed their tag and were completed but not compared (rare;
-	// only possible around end-of-run flushes).
-	LateSkipped uint64
+	// only possible around end-of-run flushes). Atomic so the executed
+	// pipeline's per-core consumer goroutines can bump it concurrently —
+	// every other Desquasher field is either read-only after construction
+	// or owned by exactly one core's stream.
+	LateSkipped atomic.Uint64
 }
 
 type taggedItem struct {
@@ -139,7 +143,7 @@ func (d *Desquasher) handleTagged(cd *coreDesq, ti taggedItem) *checker.Mismatch
 	case ti.tag == cur:
 		return d.applyTagged(cd, ti)
 	default: // late
-		d.LateSkipped++
+		d.LateSkipped.Add(1)
 		return nil
 	}
 }

@@ -127,8 +127,8 @@ func TestLateStateDiffIsSkippedNotFatal(t *testing.T) {
 	if m := d.Process(stale); m != nil {
 		t.Fatalf("late state check was fatal: %v", m)
 	}
-	if d.LateSkipped != 1 {
-		t.Errorf("LateSkipped = %d, want 1", d.LateSkipped)
+	if got := d.LateSkipped.Load(); got != 1 {
+		t.Errorf("LateSkipped = %d, want 1", got)
 	}
 }
 
