@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench-smoke ci
+.PHONY: build test race vet fmt-check generate-check bench-codec fuzz-smoke bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,24 @@ fmt-check:
 		exit 1; \
 	fi
 
+# The wire codec is generated (internal/event/gen); a hand-edited or stale
+# codec_gen.go must fail CI, not silently ship a drifted layout.
+generate-check:
+	$(GO) generate ./...
+	@git diff --exit-code -- internal/event/codec_gen.go || \
+		{ echo "codec_gen.go is stale: commit the output of 'go generate ./...'" >&2; exit 1; }
+
+# Codec/batch microbenchmarks plus the checked-in allocs/op budgets
+# (internal/event/testdata/alloc_budget.txt, internal/batch/testdata/...).
+bench-codec:
+	$(GO) test -run='^$$' -bench='BenchmarkCodecRoundTrip|BenchmarkBatchPack|BenchmarkBatchUnpack' \
+		-benchmem -benchtime=1000x ./internal/event ./internal/batch
+	$(GO) test -run='TestAllocBudget' -v ./internal/event ./internal/batch
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=10s -run='^$$' ./internal/event
+
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build test race vet fmt-check bench-smoke
+ci: build test race vet fmt-check generate-check bench-codec fuzz-smoke bench-smoke

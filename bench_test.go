@@ -153,6 +153,7 @@ func BenchmarkBatchVsFixedOffset(b *testing.B) {
 	fixed := optEB
 	fixed.FixedOffset = true
 	printed := false
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tight, err := cosim.Run(cosim.Params{
 			DUT: dut.XiangShanDefault(), Platform: platform.Palladium(),
@@ -187,6 +188,7 @@ func benchConfig(b *testing.B, cfg string) {
 	}
 	b.ReportAllocs()
 	var cycles uint64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := cosim.Run(cosim.Params{
 			DUT: dut.XiangShanDefault(), Platform: platform.Palladium(),
@@ -230,10 +232,12 @@ func BenchmarkBatchPackerThroughput(b *testing.B) {
 	cycles := monitorCycleItems(256)
 	p := batch.NewPacker(4096)
 	var bytes int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, pkt := range p.AddCycle(cycles[i%len(cycles)]) {
 			bytes += int64(len(pkt.Buf))
+			pkt.Release()
 		}
 	}
 	b.SetBytes(bytes / int64(b.N+1))
@@ -247,6 +251,7 @@ func BenchmarkBatchUnpackerThroughput(b *testing.B) {
 		pkts = append(pkts, p.AddCycle(c)...)
 	}
 	pkts = append(pkts, p.Flush()...)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var u batch.Unpacker
@@ -265,6 +270,7 @@ func BenchmarkEventEncodeAll(b *testing.B) {
 		evs = append(evs, event.InfoOf(k).New())
 	}
 	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = event.Encode(buf[:0], evs[i%len(evs)])
@@ -275,6 +281,7 @@ func BenchmarkMonitorCycle(b *testing.B) {
 	prog := workload.Generate(workload.LinuxBoot(), 1, 7)
 	d := dut.New(dut.XiangShanDefault(), prog.Image, prog.Entries, Hooks{})
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, done := d.StepCycle(); done {
 			b.StopTimer()

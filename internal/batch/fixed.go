@@ -26,6 +26,7 @@ type FixedLayout struct {
 	Entries   []LayoutEntry
 	FrameSize int
 	index     map[event.Kind]int
+	offsets   []int // frame offset of each entry's region (fixed by layout)
 }
 
 // NewFixedLayout builds a layout for the monitored kinds with the given
@@ -52,6 +53,7 @@ func NewFixedLayout(kinds []event.Kind, burst int) *FixedLayout {
 		}
 		l.index[k] = len(l.Entries)
 		l.Entries = append(l.Entries, LayoutEntry{Kind: k, Max: max})
+		l.offsets = append(l.offsets, l.FrameSize)
 		// 1 count byte + max × (1 slot byte + payload).
 		l.FrameSize += 1 + max*(1+event.SizeOf(k))
 	}
@@ -64,6 +66,9 @@ type FixedPacker struct {
 	PacketBytes int
 
 	stream []byte // frame bytes not yet emitted as packets
+
+	frame  []byte // per-cycle frame scratch, reused across AddCycle calls
+	counts []int  // per-entry instance counts, reused across AddCycle calls
 
 	// Stats.
 	Frames     uint64
@@ -86,14 +91,13 @@ func (f *FixedPacker) AddCycle(items []wire.Item) ([]Packet, error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
-	frame := make([]byte, f.Layout.FrameSize)
-	counts := make([]int, len(f.Layout.Entries))
-	offsets := make([]int, len(f.Layout.Entries))
-	off := 0
-	for i, e := range f.Layout.Entries {
-		offsets[i] = off
-		off += 1 + e.Max*(1+event.SizeOf(e.Kind))
+	if f.frame == nil {
+		f.frame = make([]byte, f.Layout.FrameSize)
+		f.counts = make([]int, len(f.Layout.Entries))
 	}
+	frame, counts, offsets := f.frame, f.counts, f.Layout.offsets
+	clear(frame) // bubbles must read as zero padding even on a reused frame
+	clear(counts)
 
 	events, instrs, valid := 0, 0, 0
 	for _, it := range items {
@@ -143,9 +147,12 @@ func (f *FixedPacker) drain(all bool) []Packet {
 		if n > len(f.stream) {
 			n = len(f.stream)
 		}
-		buf := make([]byte, f.PacketBytes)
+		buf := event.GetBuf(f.PacketBytes)[:f.PacketBytes]
 		copy(buf, f.stream[:n])
-		f.stream = f.stream[n:]
+		clear(buf[n:]) // pooled buffer: pad a short final packet with zeros
+		// Compact instead of re-slicing so the stream's backing array is
+		// reused rather than leaked behind an advancing slice base.
+		f.stream = f.stream[:copy(f.stream, f.stream[n:])]
 		// Attribute pending event/instr counts to the packet that completes
 		// the stream flow; apportioning exactly is unnecessary for cost
 		// accounting because every packet costs the same to transmit.
@@ -174,21 +181,36 @@ func UnpackFixedStream(layout *FixedLayout, stream []byte) ([][]wire.Item, error
 	for len(stream) >= layout.FrameSize {
 		frame := stream[:layout.FrameSize]
 		stream = stream[layout.FrameSize:]
-		var items []wire.Item
-		off := 0
-		for _, e := range layout.Entries {
-			count := int(frame[off])
-			off++
-			for i := 0; i < e.Max; i++ {
-				slotOff := off + i*(1+event.SizeOf(e.Kind))
-				if i < count {
-					items = append(items, wire.Item{
-						Type: uint8(e.Kind), Core: 0, Slot: frame[slotOff],
-						Payload: append([]byte(nil), frame[slotOff+1:slotOff+1+event.SizeOf(e.Kind)]...),
-					})
-				}
+		// Counting pass sizes the frame's item slice and payload arena so the
+		// valid items cost two allocations per frame instead of one each.
+		nItems, nBytes := 0, 0
+		for ei, e := range layout.Entries {
+			count := int(frame[layout.offsets[ei]])
+			if count > e.Max {
+				count = e.Max
 			}
-			off += e.Max * (1 + event.SizeOf(e.Kind))
+			nItems += count
+			nBytes += count * event.SizeOf(e.Kind)
+		}
+		items := make([]wire.Item, 0, nItems)
+		arena := make([]byte, 0, nBytes)
+		for ei, e := range layout.Entries {
+			off := layout.offsets[ei]
+			count := int(frame[off])
+			if count > e.Max {
+				count = e.Max
+			}
+			off++
+			size := event.SizeOf(e.Kind)
+			for i := 0; i < count; i++ {
+				slotOff := off + i*(1+size)
+				start := len(arena)
+				arena = append(arena, frame[slotOff+1:slotOff+1+size]...)
+				items = append(items, wire.Item{
+					Type: uint8(e.Kind), Core: 0, Slot: frame[slotOff],
+					Payload: arena[start:len(arena):len(arena)],
+				})
+			}
 		}
 		sort.SliceStable(items, func(i, j int) bool { return items[i].SortKey() < items[j].SortKey() })
 		frames = append(frames, items)

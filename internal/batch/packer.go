@@ -32,7 +32,10 @@ const (
 	metaSize     = 8 // per-segment metadata entry
 )
 
-// Packet is one fixed-size transmission unit.
+// Packet is one fixed-size transmission unit. Buf comes from the shared
+// event buffer pool: the receiver owns it and should call Release once the
+// bytes have been consumed (e.g. after Unpacker.AddPacket). Packets that are
+// kept alive simply never release.
 type Packet struct {
 	Buf    []byte // exactly PacketBytes long
 	Used   int    // content bytes (header + meta + payloads)
@@ -40,20 +43,43 @@ type Packet struct {
 	Instrs int    // retired instructions covered (for software cost)
 }
 
+// Release returns the packet's buffer to the pool. The buffer (and any slice
+// of it still held elsewhere) must not be used afterwards.
+func (p *Packet) Release() {
+	if p.Buf != nil {
+		event.PutBuf(p.Buf)
+		p.Buf = nil
+	}
+}
+
 // segment is a run of same-type, same-core items from one cycle.
 type segment struct {
 	typ, core, cycle uint8
 	items            []wire.Item
+	count            int // grouping pass: items expected in this segment
 	bytes            int
 }
 
 // Packer assembles wire items into fixed-size packets.
+//
+// All intermediate state is reused across cycles: grouping scratch, the
+// open-packet item arena, and (via the event buffer pool) the packet buffers
+// themselves. Steady-state packing allocates only when a packet closes.
 type Packer struct {
 	PacketBytes int
 
 	cycleTag uint8
 	open     []segment
 	openUsed int
+
+	// openItems is the stable arena backing p.open's item runs. Segments in
+	// p.open must not alias caller-owned or per-cycle scratch storage because
+	// an open packet outlives the AddCycle call that fed it.
+	openItems []wire.Item
+
+	// gsegs/gitems are groupByType scratch, valid only within one AddCycle.
+	gsegs  []segment
+	gitems []wire.Item
 
 	// Stats.
 	Packets      uint64
@@ -91,7 +117,7 @@ func (p *Packer) AddCycle(items []wire.Item) []Packet {
 		return nil
 	}
 	p.cycleTag++
-	segs := groupByType(items, p.cycleTag)
+	segs := p.groupByType(items, p.cycleTag)
 
 	var out []Packet
 	for _, seg := range segs {
@@ -102,20 +128,40 @@ func (p *Packer) AddCycle(items []wire.Item) []Packet {
 
 // groupByType collects same-(type,core) items into segments in first-seen
 // order — the software analogue of the prefix-counter mux-tree (Fig. 7).
-func groupByType(items []wire.Item, cycle uint8) []segment {
-	var segs []segment
-	index := map[uint16]int{}
-	for _, it := range items {
-		key := uint16(it.Type)<<8 | uint16(it.Core)
-		i, ok := index[key]
-		if !ok {
-			i = len(segs)
-			index[key] = i
-			segs = append(segs, segment{typ: it.Type, core: it.Core, cycle: cycle})
+//
+// It reuses the packer's scratch: a counting pass sizes contiguous windows
+// of p.gitems per segment, a placement pass fills them. A cycle holds few
+// distinct (type,core) pairs, so the linear key scan beats a map.
+func (p *Packer) groupByType(items []wire.Item, cycle uint8) []segment {
+	segs := p.gsegs[:0]
+	find := func(typ, core uint8) int {
+		for i := range segs {
+			if segs[i].typ == typ && segs[i].core == core {
+				return i
+			}
 		}
-		segs[i].items = append(segs[i].items, it)
-		segs[i].bytes += it.WireSize()
+		segs = append(segs, segment{typ: typ, core: core, cycle: cycle})
+		return len(segs) - 1
 	}
+	for _, it := range items {
+		s := &segs[find(it.Type, it.Core)]
+		s.count++
+		s.bytes += it.WireSize()
+	}
+
+	if cap(p.gitems) < len(items) {
+		p.gitems = make([]wire.Item, len(items))
+	}
+	arena, start := p.gitems[:len(items)], 0
+	for i := range segs {
+		segs[i].items = arena[start : start : start+segs[i].count]
+		start += segs[i].count
+	}
+	for _, it := range items {
+		i := find(it.Type, it.Core)
+		segs[i].items = append(segs[i].items, it)
+	}
+	p.gsegs = segs
 	return segs
 }
 
@@ -143,8 +189,13 @@ func (p *Packer) appendSegment(seg segment) []Packet {
 			bytes += it.WireSize()
 			take++
 		}
+		// Copy the taken run into the open-packet arena: seg.items is
+		// per-cycle scratch that the next AddCycle will overwrite, while the
+		// open packet can stay open across cycles.
+		start := len(p.openItems)
+		p.openItems = append(p.openItems, seg.items[:take]...)
 		part := segment{typ: seg.typ, core: seg.core, cycle: seg.cycle,
-			items: seg.items[:take], bytes: bytes}
+			items: p.openItems[start:len(p.openItems)], bytes: bytes}
 		p.open = append(p.open, part)
 		p.openUsed += bytes
 		seg.items = seg.items[take:]
@@ -162,7 +213,9 @@ func (p *Packer) Flush() []Packet {
 }
 
 func (p *Packer) closePacket() Packet {
-	buf := make([]byte, p.PacketBytes)
+	// Pooled buffers carry stale bytes: every position a fresh make() would
+	// zero is cleared explicitly so packets stay byte-identical either way.
+	buf := event.GetBuf(p.PacketBytes)[:p.PacketBytes]
 	binary.LittleEndian.PutUint16(buf[0:], uint16(len(p.open)))
 	payloadOff := packetHeader + metaSize*len(p.open)
 	binary.LittleEndian.PutUint16(buf[2:], uint16(payloadOff))
@@ -171,7 +224,7 @@ func (p *Packer) closePacket() Packet {
 	pos := payloadOff
 	for i, seg := range p.open {
 		m := buf[packetHeader+i*metaSize:]
-		m[0], m[1], m[2] = seg.typ, seg.core, seg.cycle
+		m[0], m[1], m[2], m[3] = seg.typ, seg.core, seg.cycle, 0
 		binary.LittleEndian.PutUint16(m[4:], uint16(len(seg.items)))
 		binary.LittleEndian.PutUint16(m[6:], uint16(seg.bytes))
 		for _, it := range seg.items {
@@ -183,10 +236,12 @@ func (p *Packer) closePacket() Packet {
 		}
 		p.ItemCount += uint64(len(seg.items))
 	}
+	clear(buf[pos:])
 	pkt.Used = pos
 	p.ContentBytes += uint64(pos)
 	p.Packets++
 	p.open = p.open[:0]
+	p.openItems = p.openItems[:0]
 	p.openUsed = packetHeader
 	return pkt
 }

@@ -29,16 +29,37 @@ type Unpacker struct {
 
 // AddPacket parses one packet and returns all items of cycles that are now
 // complete, in restored checking order.
+//
+// Item payloads are copied out of buf into one arena allocation per packet,
+// so the caller may release or reuse buf (batch.Packet.Release) as soon as
+// AddPacket returns. Failed parses are reported with the packet index and
+// segment/item position, wrapping the codec's typed *event.DecodeError where
+// an event payload is at fault.
 func (u *Unpacker) AddPacket(buf []byte) ([]wire.Item, error) {
+	pktIdx := u.Packets
 	u.Packets++
 	if len(buf) < packetHeader {
-		return nil, fmt.Errorf("batch: packet shorter than header")
+		return nil, fmt.Errorf("batch: packet %d shorter than header", pktIdx)
 	}
 	segCount := int(binary.LittleEndian.Uint16(buf[0:]))
 	pos := int(binary.LittleEndian.Uint16(buf[2:]))
 	if packetHeader+segCount*metaSize > len(buf) || pos > len(buf) {
-		return nil, fmt.Errorf("batch: corrupt packet header (%d segments)", segCount)
+		return nil, fmt.Errorf("batch: packet %d: corrupt header (%d segments)", pktIdx, segCount)
 	}
+
+	// Size the payload arena: each item spends one slot byte of its segment,
+	// the rest of the segment bytes are payload.
+	total := 0
+	for s := 0; s < segCount; s++ {
+		m := buf[packetHeader+s*metaSize:]
+		if n := int(binary.LittleEndian.Uint16(m[6:])) - int(binary.LittleEndian.Uint16(m[4:])); n > 0 {
+			total += n
+		}
+	}
+	if total > len(buf) {
+		total = len(buf) // corrupt meta cannot demand more than the packet holds
+	}
+	arena := make([]byte, 0, total)
 
 	var done []wire.Item
 	for s := 0; s < segCount; s++ {
@@ -47,7 +68,7 @@ func (u *Unpacker) AddPacket(buf []byte) ([]wire.Item, error) {
 		count := int(binary.LittleEndian.Uint16(m[4:]))
 		segBytes := int(binary.LittleEndian.Uint16(m[6:]))
 		if pos+segBytes > len(buf) {
-			return nil, fmt.Errorf("batch: segment overruns packet")
+			return nil, fmt.Errorf("batch: packet %d segment %d overruns packet", pktIdx, s)
 		}
 
 		if !u.havePend || cycle != u.pendingID {
@@ -56,11 +77,11 @@ func (u *Unpacker) AddPacket(buf []byte) ([]wire.Item, error) {
 		}
 
 		seg := buf[pos : pos+segBytes]
-		items, err := parseSegment(typ, core, count, seg)
+		var err error
+		arena, err = u.parseSegment(typ, core, count, seg, arena)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("batch: packet %d segment %d: %w", pktIdx, s, err)
 		}
-		u.pending = append(u.pending, items...)
 		pos += segBytes
 	}
 	return done, nil
@@ -84,13 +105,21 @@ func (u *Unpacker) release() []wire.Item {
 
 // parseSegment slices a segment payload into items using the per-kind
 // structural metadata: fixed sizes for raw/NDE/fused items, mask-derived
-// lengths for diff items.
-func parseSegment(typ, core uint8, count int, seg []byte) ([]wire.Item, error) {
-	items := make([]wire.Item, 0, count)
+// lengths for diff items. Parsed items go to u.pending; payload bytes are
+// copied into arena (capacity-clamped sub-slices) and the grown arena is
+// returned. Truncated event payloads surface as typed *event.DecodeError.
+func (u *Unpacker) parseSegment(typ, core uint8, count int, seg, arena []byte) ([]byte, error) {
+	itemKind := func() (event.Kind, bool) {
+		return wire.Item{Type: typ}.Kind()
+	}
 	pos := 0
 	for i := 0; i < count; i++ {
 		if pos >= len(seg) {
-			return nil, fmt.Errorf("batch: segment truncated at item %d/%d", i, count)
+			err := error(fmt.Errorf("segment truncated"))
+			if k, ok := itemKind(); ok {
+				err = &event.DecodeError{Kind: k, Len: 0, Err: event.ErrShortPayload}
+			}
+			return arena, fmt.Errorf("item %d/%d: %w", i, count, err)
 		}
 		slot := seg[pos]
 		pos++
@@ -108,22 +137,28 @@ func parseSegment(typ, core uint8, count int, seg []byte) ([]wire.Item, error) {
 			var err error
 			n, err = wire.ParseDiffLen(event.Kind(typ-wire.TypeDiffBase), seg[pos:])
 			if err != nil {
-				return nil, err
+				return arena, fmt.Errorf("item %d/%d: %w", i, count, err)
 			}
 		default:
-			return nil, fmt.Errorf("batch: unknown item type %d", typ)
+			return arena, fmt.Errorf("item %d/%d: unknown item type %d", i, count, typ)
 		}
 		if pos+n > len(seg) {
-			return nil, fmt.Errorf("batch: item %d overruns segment (type %d)", i, typ)
+			err := error(fmt.Errorf("type %d payload overruns segment", typ))
+			if k, ok := itemKind(); ok {
+				err = &event.DecodeError{Kind: k, Len: len(seg) - pos, Err: event.ErrShortPayload}
+			}
+			return arena, fmt.Errorf("item %d/%d: %w", i, count, err)
 		}
-		items = append(items, wire.Item{
+		start := len(arena)
+		arena = append(arena, seg[pos:pos+n]...)
+		u.pending = append(u.pending, wire.Item{
 			Type: typ, Core: core, Slot: slot,
-			Payload: append([]byte(nil), seg[pos:pos+n]...),
+			Payload: arena[start:len(arena):len(arena)],
 		})
 		pos += n
 	}
 	if pos != len(seg) {
-		return nil, fmt.Errorf("batch: %d trailing segment bytes", len(seg)-pos)
+		return arena, fmt.Errorf("%d trailing segment bytes", len(seg)-pos)
 	}
-	return items, nil
+	return arena, nil
 }

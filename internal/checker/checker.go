@@ -348,7 +348,10 @@ func (cc *CoreChecker) processCommit(rec event.Record, ev *event.InstrCommit) *M
 }
 
 func describeDiff(got, want event.Event) string {
-	a, b := event.EncodeValue(got), event.EncodeValue(want)
+	a := got.AppendTo(event.GetBuf(got.EncodedSize()))
+	b := want.AppendTo(event.GetBuf(want.EncodedSize()))
+	defer event.PutBuf(a)
+	defer event.PutBuf(b)
 	for i := range a {
 		if a[i] != b[i] {
 			word := i / 8 * 8

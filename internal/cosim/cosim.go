@@ -344,6 +344,9 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 			}
 			r.link.Send(len(pkt.Buf), pkt.Events, pkt.Instrs)
 			rx, err := r.unpacker.AddPacket(pkt.Buf)
+			// The unpacker copied every payload into its own arena, so the
+			// packet buffer can go back to the pool immediately.
+			pkt.Release()
 			if err != nil {
 				return err
 			}
@@ -391,6 +394,7 @@ func (r *runner) fixedReceive(pkt batch.Packet) error {
 // returns the frames it completes.
 func (r *runner) fixedFrames(pkt batch.Packet) ([][]wire.Item, error) {
 	r.fixedRx = append(r.fixedRx, pkt.Buf[:pkt.Used]...)
+	pkt.Release() // reassembly copied the bytes; recycle the packet buffer
 	frameSize := r.fixed.Layout.FrameSize
 	n := len(r.fixedRx) / frameSize * frameSize
 	if n == 0 {

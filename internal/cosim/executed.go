@@ -26,9 +26,12 @@ import (
 // (SpeedHz) and the measured wall-clock concurrency (Exec, ExecutedHz).
 
 // xfer is one transfer crossing the executed pipeline: a packed packet
-// (Batch/fixed-offset modes) or bare wire items (per-event baseline).
+// (Batch/fixed-offset modes, pkt.Buf != nil) or bare wire items (per-event
+// baseline). The packet is held by value: a pointer into the producer's
+// packet slice would alias storage the producer may reuse while the consumer
+// goroutine is still reading.
 type xfer struct {
-	pkt   *batch.Packet
+	pkt   batch.Packet
 	items []wire.Item
 }
 
@@ -100,7 +103,7 @@ func (p *hwProducer) pack(items []wire.Item, flush bool) ([]xfer, error) {
 		}
 		for i := range pkts {
 			r.link.Send(len(pkts[i].Buf), pkts[i].Events, pkts[i].Instrs)
-			out = append(out, xfer{pkt: &pkts[i]})
+			out = append(out, xfer{pkt: pkts[i]})
 		}
 	case r.opt.Batch:
 		pkts := r.packer.AddCycle(items)
@@ -109,7 +112,7 @@ func (p *hwProducer) pack(items []wire.Item, flush bool) ([]xfer, error) {
 		}
 		for i := range pkts {
 			r.link.Send(len(pkts[i].Buf), pkts[i].Events, pkts[i].Instrs)
-			out = append(out, xfer{pkt: &pkts[i]})
+			out = append(out, xfer{pkt: pkts[i]})
 		}
 	default:
 		for _, it := range items {
@@ -211,10 +214,10 @@ func (c *swConsumer) sink(x xfer) (bool, error) {
 func (c *swConsumer) decode(x xfer) ([]wire.Item, error) {
 	r := c.r
 	switch {
-	case x.pkt == nil:
+	case x.pkt.Buf == nil:
 		return x.items, nil
 	case r.opt.FixedOffset:
-		frames, err := r.fixedFrames(*x.pkt)
+		frames, err := r.fixedFrames(x.pkt)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +227,10 @@ func (c *swConsumer) decode(x xfer) ([]wire.Item, error) {
 		}
 		return items, nil
 	default:
-		return r.unpacker.AddPacket(x.pkt.Buf)
+		items, err := r.unpacker.AddPacket(x.pkt.Buf)
+		// Payloads were copied into the unpacker's arena; recycle the buffer.
+		x.pkt.Release()
+		return items, err
 	}
 }
 

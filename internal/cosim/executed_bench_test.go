@@ -1,0 +1,35 @@
+package cosim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// benchExecuted measures wall-clock throughput of the executed concurrent
+// pipeline (producer + link + consumer goroutines) for one configuration.
+// DESIGN.md's "Wire codec" section tracks these numbers across codec work:
+// the executed path exercises the full encode→pack→transfer→unpack→check
+// stack per instruction.
+func benchExecuted(b *testing.B, cfg string) {
+	p := executedParams(cfg, true)
+	p.Workload = scaled(workload.LinuxBoot(), 15_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mismatch != nil {
+			b.Fatalf("mismatch: %v", res.Mismatch)
+		}
+		instrs = res.Instrs
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+func BenchmarkExecutedBatchEB(b *testing.B)      { benchExecuted(b, "EB") }
+func BenchmarkExecutedNonBlockEBIN(b *testing.B) { benchExecuted(b, "EBIN") }
+func BenchmarkExecutedSquashEBINSD(b *testing.B) { benchExecuted(b, "EBINSD") }

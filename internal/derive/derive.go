@@ -112,9 +112,11 @@ func (d *Digest) Add(ev event.Event) {
 	)
 	h := uint64(offset64)
 	h = (h ^ uint64(ev.Kind())) * prime64
-	for _, b := range event.EncodeValue(ev) {
+	buf := ev.AppendTo(event.GetBuf(ev.EncodedSize()))
+	for _, b := range buf {
 		h = (h ^ uint64(b)) * prime64
 	}
+	event.PutBuf(buf)
 	d.Sum ^= h
 	d.Count++
 }

@@ -1,10 +1,81 @@
 package event
 
+//go:generate go run ./gen
+
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
+
+// WireCodec is the zero-allocation serialization contract every event kind
+// implements. The per-kind implementations are hand-rolled little-endian
+// encoders emitted by `go generate ./...` (see gen/ and codec_gen.go); they
+// produce byte-for-byte the same layout as the reflective
+// encoding/binary.Write path the registry cross-checks at init.
+type WireCodec interface {
+	// EncodedSize returns the fixed wire size in bytes.
+	EncodedSize() int
+	// AppendTo appends the wire encoding to dst and returns the extended
+	// slice. It never allocates when dst has sufficient capacity.
+	AppendTo(dst []byte) []byte
+	// DecodeFrom fills the receiver from the prefix of src, returning the
+	// number of bytes consumed. src may be longer than the wire size.
+	DecodeFrom(src []byte) (int, error)
+}
+
+// Decode error causes, wrapped by DecodeError.
+var (
+	// ErrUnknownKind marks a kind outside the registered type space.
+	ErrUnknownKind = errors.New("unknown event kind")
+	// ErrShortPayload marks a payload shorter than the kind's wire size.
+	ErrShortPayload = errors.New("payload shorter than wire size")
+	// ErrPayloadSize marks a payload whose length does not equal the kind's
+	// wire size exactly (Decode requires an exact-size slice).
+	ErrPayloadSize = errors.New("payload length does not match wire size")
+)
+
+// DecodeError is the typed error every failed decode returns: it names the
+// event kind, records the offending payload length, and wraps the structural
+// cause so callers can errors.Is/As against it.
+type DecodeError struct {
+	Kind Kind
+	Len  int // payload length that was offered
+	Err  error
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	want := 0
+	if e.Kind < NumKinds {
+		want = infos[e.Kind].Size
+	}
+	return fmt.Sprintf("event: decode %v: payload %dB (want %dB): %v", e.Kind, e.Len, want, e.Err)
+}
+
+// Unwrap exposes the structural cause.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// decodeErr builds the typed decode error; the generated DecodeFrom methods
+// call it on short input.
+func decodeErr(k Kind, n int, cause error) error {
+	return &DecodeError{Kind: k, Len: n, Err: cause}
+}
+
+// codecGrow extends dst by n bytes and returns the extended slice plus the
+// writable window covering the new bytes. When dst has capacity the window
+// is carved in place; the append(dst, make(...)...) grow form is recognized
+// by the compiler and does not allocate a temporary.
+func codecGrow(dst []byte, n int) ([]byte, []byte) {
+	l := len(dst)
+	if cap(dst)-l < n {
+		dst = append(dst, make([]byte, n)...)
+	} else {
+		dst = dst[:l+n]
+	}
+	return dst, dst[l : l+n]
+}
 
 // Info describes one event kind's structural semantics: its name, Table-1
 // category, fixed wire size, and constructor. This is the metadata the Batch
@@ -20,9 +91,15 @@ type Info struct {
 var infos [NumKinds]Info
 
 func register(k Kind, newFn func() Event) {
-	size := binary.Size(newFn())
+	ev := newFn()
+	// The reflective layout is the authority the generated codecs must
+	// match; a disagreement means codec_gen.go is stale.
+	size := binary.Size(ev)
 	if size <= 0 {
 		panic(fmt.Sprintf("event: kind %v has no fixed binary size", k))
+	}
+	if g := ev.EncodedSize(); g != size {
+		panic(fmt.Sprintf("event: generated codec for %v says %dB but the field layout is %dB — rerun go generate ./...", k, g, size))
 	}
 	infos[k] = Info{Kind: k, Name: k.String(), Category: CategoryOf(k), Size: size, New: newFn}
 }
@@ -79,41 +156,43 @@ func TotalSize() int {
 }
 
 // Encode appends ev's wire encoding to dst and returns the extended slice.
-func Encode(dst []byte, ev Event) []byte {
-	var buf bytes.Buffer
-	buf.Grow(SizeOf(ev.Kind()))
-	if err := binary.Write(&buf, binary.LittleEndian, ev); err != nil {
-		panic(fmt.Sprintf("event: encode %v: %v", ev.Kind(), err))
-	}
-	return append(dst, buf.Bytes()...)
+// It allocates only when dst lacks capacity.
+func Encode(dst []byte, ev Event) []byte { return ev.AppendTo(dst) }
+
+// EncodeValue returns ev's wire encoding as a fresh exact-size slice.
+func EncodeValue(ev Event) []byte {
+	return ev.AppendTo(make([]byte, 0, ev.EncodedSize()))
 }
 
-// EncodeValue returns ev's wire encoding as a fresh slice.
-func EncodeValue(ev Event) []byte { return Encode(nil, ev) }
-
 // Decode reconstructs an event of kind k from its wire encoding. The data
-// slice must be exactly SizeOf(k) bytes.
+// slice must be exactly SizeOf(k) bytes. All failures are *DecodeError.
 func Decode(k Kind, data []byte) (Event, error) {
 	if k >= NumKinds {
-		return nil, fmt.Errorf("event: unknown kind %d", k)
+		return nil, decodeErr(k, len(data), ErrUnknownKind)
 	}
 	if len(data) != infos[k].Size {
-		return nil, fmt.Errorf("event: kind %v wants %d bytes, got %d", k, infos[k].Size, len(data))
+		return nil, decodeErr(k, len(data), ErrPayloadSize)
 	}
 	ev := infos[k].New()
-	if err := binary.Read(bytes.NewReader(data), binary.LittleEndian, ev); err != nil {
-		return nil, fmt.Errorf("event: decode %v: %w", k, err)
+	if _, err := ev.DecodeFrom(data); err != nil {
+		return nil, err
 	}
 	return ev, nil
 }
 
 // Equal reports whether two events have the same kind and identical wire
-// encodings (and therefore identical field values).
+// encodings (and therefore identical field values). It runs on the checker's
+// state-compare hot path, so it encodes into pooled scratch buffers.
 func Equal(a, b Event) bool {
 	if a.Kind() != b.Kind() {
 		return false
 	}
-	return bytes.Equal(EncodeValue(a), EncodeValue(b))
+	ab := a.AppendTo(GetBuf(a.EncodedSize()))
+	bb := b.AppendTo(GetBuf(b.EncodedSize()))
+	eq := bytes.Equal(ab, bb)
+	PutBuf(ab)
+	PutBuf(bb)
+	return eq
 }
 
 // Record is an event stamped with its order tag: the global instruction

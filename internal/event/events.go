@@ -2,10 +2,12 @@ package event
 
 // Event is a verification event extracted from the DUT. Every concrete
 // implementation is a fixed-size struct whose wire encoding is its
-// little-endian field layout (see codec.go).
+// little-endian field layout, produced by the generated zero-allocation
+// codec (see codec.go and codec_gen.go).
 type Event interface {
 	// Kind identifies the event type.
 	Kind() Kind
+	WireCodec
 }
 
 // NonDeterministic is implemented by events that may be NDEs: DUT-specific

@@ -1,0 +1,59 @@
+package event
+
+import "sync"
+
+// Scratch-buffer pool shared by every layer that touches event bytes: the
+// codec (Equal), wire differencing, the Batch packers, and the derivable
+// event digest. Pooling discipline (see DESIGN.md "Wire codec"):
+//
+//   - GetBuf transfers ownership of the returned slice to the caller.
+//   - PutBuf transfers it back; the caller must not retain any alias
+//     (including sub-slices handed to other goroutines) afterwards.
+//   - Buffers that escape into long-lived structures (item payloads, packets
+//     a caller keeps) are simply never returned; the pool only ever sees
+//     buffers whose lifetime ended.
+//
+// Two pools cooperate so the steady state allocates nothing: bufPool holds
+// boxed slices with live backing arrays, boxPool recycles the empty *[]byte
+// boxes left behind when GetBuf unwraps one.
+var (
+	bufPool sync.Pool // *[]byte with backing capacity
+	boxPool sync.Pool // *[]byte boxes with nil contents
+)
+
+// minBufCap keeps tiny requests from seeding the pool with useless slivers.
+const minBufCap = 512
+
+// GetBuf returns a zero-length scratch slice with capacity at least n. The
+// caller owns it until PutBuf.
+func GetBuf(n int) []byte {
+	if v := bufPool.Get(); v != nil {
+		p := v.(*[]byte)
+		b := *p
+		*p = nil
+		boxPool.Put(p)
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	if n < minBufCap {
+		n = minBufCap
+	}
+	return make([]byte, 0, n)
+}
+
+// PutBuf returns a scratch slice to the pool. The slice (and every alias of
+// it) must not be used afterwards.
+func PutBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	var p *[]byte
+	if v := boxPool.Get(); v != nil {
+		p = v.(*[]byte)
+	} else {
+		p = new([]byte)
+	}
+	*p = b[:0]
+	bufPool.Put(p)
+}

@@ -28,10 +28,11 @@ const version = 1
 
 // Writer dumps per-cycle record batches.
 type Writer struct {
-	w      *bufio.Writer
-	wrote  bool
-	Cycles uint64
-	Events uint64
+	w       *bufio.Writer
+	wrote   bool
+	scratch []byte // reused payload encoding buffer
+	Cycles  uint64
+	Events  uint64
 }
 
 // NewWriter starts a trace on w.
@@ -67,7 +68,8 @@ func (t *Writer) WriteCycle(cycle uint64, recs []event.Record) error {
 		if _, err := t.w.Write(rh[:]); err != nil {
 			return err
 		}
-		if _, err := t.w.Write(event.EncodeValue(rec.Ev)); err != nil {
+		t.scratch = rec.Ev.AppendTo(t.scratch[:0])
+		if _, err := t.w.Write(t.scratch); err != nil {
 			return err
 		}
 		t.Events++
@@ -136,11 +138,13 @@ func (t *Reader) ReadCycle() (cycle uint64, recs []event.Record, err error) {
 		if k >= event.NumKinds {
 			return 0, nil, fmt.Errorf("trace: bad kind %d", rh[0])
 		}
-		buf := make([]byte, event.SizeOf(k))
+		buf := event.GetBuf(event.SizeOf(k))[:event.SizeOf(k)]
 		if _, err := io.ReadFull(t.r, buf); err != nil {
+			event.PutBuf(buf)
 			return 0, nil, fmt.Errorf("trace: truncated payload: %w", err)
 		}
-		ev, err := event.Decode(k, buf)
+		ev, err := event.Decode(k, buf) // copies buf into the fresh event
+		event.PutBuf(buf)
 		if err != nil {
 			return 0, nil, err
 		}

@@ -28,27 +28,30 @@ func DiffItem(core, slot uint8, tag uint64, prev, ev event.Event) Item {
 	if prev == nil || prev.Kind() != k {
 		panic("wire: DiffItem base/event kind mismatch")
 	}
-	oldB, newB := event.EncodeValue(prev), event.EncodeValue(ev)
+	oldB := prev.AppendTo(event.GetBuf(prev.EncodedSize()))
+	newB := ev.AppendTo(event.GetBuf(ev.EncodedSize()))
 	nWords, maskWords := diffWords(k)
 
-	masks := make([]uint64, maskWords)
-	changed := make([]uint64, 0, 8)
+	// First pass counts changed words so the payload allocates exact-size;
+	// second pass writes masks in place and appends the changed words.
+	changed := 0
 	for w := 0; w < nWords; w++ {
-		ov := binary.LittleEndian.Uint64(oldB[w*8:])
-		nv := binary.LittleEndian.Uint64(newB[w*8:])
-		if ov != nv {
-			masks[w/64] |= 1 << (w % 64)
-			changed = append(changed, nv)
+		if binary.LittleEndian.Uint64(oldB[w*8:]) != binary.LittleEndian.Uint64(newB[w*8:]) {
+			changed++
 		}
 	}
-	p := make([]byte, 8+8*(maskWords+len(changed)))
+	p := make([]byte, 8+8*maskWords, 8+8*(maskWords+changed))
 	binary.LittleEndian.PutUint64(p, tag)
-	for i, m := range masks {
-		binary.LittleEndian.PutUint64(p[8+i*8:], m)
+	for w := 0; w < nWords; w++ {
+		nv := binary.LittleEndian.Uint64(newB[w*8:])
+		if binary.LittleEndian.Uint64(oldB[w*8:]) != nv {
+			mo := 8 + (w/64)*8
+			binary.LittleEndian.PutUint64(p[mo:], binary.LittleEndian.Uint64(p[mo:])|1<<(w%64))
+			p = binary.LittleEndian.AppendUint64(p, nv)
+		}
 	}
-	for i, v := range changed {
-		binary.LittleEndian.PutUint64(p[8+(maskWords+i)*8:], v)
-	}
+	event.PutBuf(oldB)
+	event.PutBuf(newB)
 	return Item{Type: TypeDiffBase + uint8(k), Core: core, Slot: slot, Payload: p}
 }
 
@@ -56,7 +59,8 @@ func DiffItem(core, slot uint8, tag uint64, prev, ev event.Event) Item {
 // building it (for fusion-benefit accounting).
 func DiffSize(prev, ev event.Event) int {
 	k := ev.Kind()
-	oldB, newB := event.EncodeValue(prev), event.EncodeValue(ev)
+	oldB := prev.AppendTo(event.GetBuf(prev.EncodedSize()))
+	newB := ev.AppendTo(event.GetBuf(ev.EncodedSize()))
 	nWords, maskWords := diffWords(k)
 	n := 0
 	for w := 0; w < nWords; w++ {
@@ -64,6 +68,8 @@ func DiffSize(prev, ev event.Event) int {
 			n++
 		}
 	}
+	event.PutBuf(oldB)
+	event.PutBuf(newB)
 	return 8 + 8*(maskWords+n)
 }
 
@@ -83,12 +89,15 @@ func DecodeDiff(it Item, prev event.Event) (tag uint64, ev event.Event, err erro
 	}
 	tag = binary.LittleEndian.Uint64(it.Payload)
 	body := it.Payload[8:]
-	buf := event.EncodeValue(prev)
+	// Pooled scratch holds the reconstructed encoding; event.Decode copies it
+	// into the returned event, so the scratch is safe to recycle after.
+	buf := prev.AppendTo(event.GetBuf(prev.EncodedSize()))
 	pos := maskWords * 8
 	for w := 0; w < nWords; w++ {
 		m := binary.LittleEndian.Uint64(body[(w/64)*8:])
 		if m&(1<<(w%64)) != 0 {
 			if pos+8 > len(body) {
+				event.PutBuf(buf)
 				return 0, nil, fmt.Errorf("wire: diff payload truncated for %v", k)
 			}
 			copy(buf[w*8:], body[pos:pos+8])
@@ -96,9 +105,11 @@ func DecodeDiff(it Item, prev event.Event) (tag uint64, ev event.Event, err erro
 		}
 	}
 	if pos != len(body) {
+		event.PutBuf(buf)
 		return 0, nil, fmt.Errorf("wire: diff payload for %v has %d trailing bytes", k, len(body)-pos)
 	}
 	ev, err = event.Decode(k, buf)
+	event.PutBuf(buf)
 	return tag, ev, err
 }
 

@@ -98,13 +98,13 @@ func RawItem(core, slot uint8, ev event.Event) Item {
 
 // NDEItem wraps an event with its order tag for ahead-of-fusion transmission.
 func NDEItem(core, slot uint8, seq uint64, ev event.Event) Item {
-	p := make([]byte, 8, 8+event.SizeOf(ev.Kind()))
+	p := make([]byte, 8, 8+ev.EncodedSize())
 	binary.LittleEndian.PutUint64(p, seq)
 	return Item{
 		Type:    TypeNDEBase + uint8(ev.Kind()),
 		Core:    core,
 		Slot:    slot,
-		Payload: event.Encode(p, ev),
+		Payload: ev.AppendTo(p),
 	}
 }
 
@@ -233,14 +233,30 @@ func (it Item) SortKey() uint32 {
 // FromRecords converts one cycle's monitor records into wire items,
 // assigning per-core commit slots. Events before a core's first commit of
 // the cycle get slot 0; events belonging to the i-th commit get slot i.
+//
+// All item payloads share one arena allocation sized from EncodedSize, so a
+// cycle costs two allocations regardless of event count. Each payload is a
+// capacity-clamped sub-slice, so an append on one cannot clobber the next.
 func FromRecords(cycle []event.Record) []Item {
+	total := 0
+	for _, rec := range cycle {
+		total += rec.Ev.EncodedSize()
+	}
+	arena := make([]byte, 0, total)
 	items := make([]Item, 0, len(cycle))
 	var slots [256]uint8
 	for _, rec := range cycle {
 		if rec.Ev.Kind() == event.KindInstrCommit {
 			slots[rec.Core]++
 		}
-		items = append(items, RawItem(rec.Core, slots[rec.Core], rec.Ev))
+		start := len(arena)
+		arena = rec.Ev.AppendTo(arena)
+		items = append(items, Item{
+			Type:    TypeRawBase + uint8(rec.Ev.Kind()),
+			Core:    rec.Core,
+			Slot:    slots[rec.Core],
+			Payload: arena[start:len(arena):len(arena)],
+		})
 	}
 	return items
 }
