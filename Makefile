@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check generate-check bench-codec fuzz-smoke bench-smoke ci
+.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,17 @@ race:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks -loopclosure ./...
+
+# Project-specific static analysis (cmd/difftestlint): wire-struct layout,
+# pool release discipline, use-after-release, and Kind-switch exhaustiveness.
+# Two entry points, both enforced:
+#   - standalone: difftestlint ./...      (non-test sources, full repo walk)
+#   - vettool:    go vet -vettool=...     (includes _test.go files)
+lint:
+	$(GO) build -o bin/difftestlint ./cmd/difftestlint
+	./bin/difftestlint ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/difftestlint ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \
@@ -45,4 +56,4 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build test race vet fmt-check generate-check bench-codec fuzz-smoke bench-smoke
+ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke

@@ -1,0 +1,86 @@
+// Command difftestlint runs the project's static-analysis suite — the
+// wirestruct, poolcheck, useafterrelease, and kindswitch analyzers from
+// internal/lint — over the given package patterns, printing one
+// file:line:col finding per violated invariant and exiting non-zero when
+// anything is found.
+//
+// Usage:
+//
+//	difftestlint [-analyzers a,b] [-dir moduleRoot] [patterns...]
+//
+// Patterns default to ./... and are resolved with `go list`. The binary
+// also speaks the `go vet -vettool` protocol, so
+//
+//	go vet -vettool=$(pwd)/bin/difftestlint ./...
+//
+// runs the same analyzers through the go command's per-package cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// The vettool handshake (-V=full / -flags / pkg.cfg) bypasses the CLI.
+	if handled, code := lint.RunVetTool(os.Args[0], os.Args[1:], os.Stdout, os.Stderr); handled {
+		os.Exit(code)
+	}
+
+	var (
+		analyzerList = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		dir          = flag.String("dir", "", "directory to resolve patterns from (default: current)")
+		docs         = flag.Bool("doc", false, "print each analyzer's enforced invariant and exit")
+	)
+	flag.Parse()
+
+	if *docs {
+		for _, a := range lint.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var names []string
+	if *analyzerList != "" {
+		names = strings.Split(*analyzerList, ",")
+	}
+	analyzers, unknown := lint.ByName(names)
+	if unknown != "" {
+		fmt.Fprintf(os.Stderr, "difftestlint: unknown analyzer %q (have:", unknown)
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, " %s", a.Name)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := lint.NewLoader(*dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difftestlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difftestlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "difftestlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

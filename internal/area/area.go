@@ -102,6 +102,8 @@ func interfaceBits(d dut.Config) float64 {
 			event.KindVecCommit, event.KindVecWriteback,
 			event.KindVstartUpdate, event.KindRedirect:
 			inst = burst
+		default:
+			// State snapshots and traps: at most one instance per cycle.
 		}
 		bits += float64(event.SizeOf(k)*8) * float64(inst)
 	}

@@ -1,0 +1,29 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/dut"
+	"repro/internal/event"
+)
+
+// TestInterfaceBitsScalarKinds pins the default arm added for kindswitch
+// exhaustiveness: state-snapshot and trap kinds get one monitor instance per
+// cycle regardless of the commit burst width, while bursty kinds scale.
+func TestInterfaceBitsScalarKinds(t *testing.T) {
+	base := dut.XiangShanDefault()
+	base.Cores = 1
+	base.BurstMax = 6
+
+	scalar := base
+	scalar.EventKinds = []event.Kind{event.KindCSRState}
+	if got, want := interfaceBits(scalar), float64(event.SizeOf(event.KindCSRState)*8); got != want {
+		t.Errorf("interfaceBits(CSRState, burst=6) = %v bits, want %v (one instance)", got, want)
+	}
+
+	bursty := base
+	bursty.EventKinds = []event.Kind{event.KindLoad}
+	if got, want := interfaceBits(bursty), float64(event.SizeOf(event.KindLoad)*8*6); got != want {
+		t.Errorf("interfaceBits(Load, burst=6) = %v bits, want %v (burst instances)", got, want)
+	}
+}

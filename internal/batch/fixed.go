@@ -50,6 +50,8 @@ func NewFixedLayout(kinds []event.Kind, burst int) *FixedLayout {
 			event.KindVecCommit, event.KindVecWriteback, event.KindVstartUpdate,
 			event.KindRedirect:
 			max = burst
+		default:
+			// State snapshots and traps: at most one slot per frame.
 		}
 		l.index[k] = len(l.Entries)
 		l.Entries = append(l.Entries, LayoutEntry{Kind: k, Max: max})

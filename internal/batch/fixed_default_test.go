@@ -1,0 +1,27 @@
+package batch
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestFixedLayoutScalarSlots pins the default arm added for kindswitch
+// exhaustiveness: state-snapshot and trap kinds get exactly one frame slot,
+// bursty per-commit kinds get the full burst width.
+func TestFixedLayoutScalarSlots(t *testing.T) {
+	l := NewFixedLayout([]event.Kind{event.KindCSRState, event.KindTrap, event.KindLoad}, 4)
+	wantMax := map[event.Kind]int{
+		event.KindCSRState: 1,
+		event.KindTrap:     1,
+		event.KindLoad:     4,
+	}
+	if len(l.Entries) != len(wantMax) {
+		t.Fatalf("layout has %d entries, want %d", len(l.Entries), len(wantMax))
+	}
+	for _, e := range l.Entries {
+		if e.Max != wantMax[e.Kind] {
+			t.Errorf("layout slot count for %v = %d, want %d", e.Kind, e.Max, wantMax[e.Kind])
+		}
+	}
+}

@@ -319,17 +319,22 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 	case r.opt.Batch && r.opt.FixedOffset:
 		pkts, err := r.fixed.AddCycle(items)
 		if err != nil {
+			releaseAll(pkts)
 			return err
 		}
 		if flush {
 			pkts = append(pkts, r.fixed.Flush()...)
 		}
-		for _, pkt := range pkts {
+		for i, pkt := range pkts {
 			if r.stop {
+				// The run already diverged: the unsent packets still own
+				// pooled buffers and must go back.
+				releaseAll(pkts[i:])
 				return nil
 			}
 			r.link.Send(len(pkt.Buf), pkt.Events, pkt.Instrs)
 			if err := r.fixedReceive(pkt); err != nil {
+				releaseAll(pkts[i+1:])
 				return err
 			}
 		}
@@ -338,8 +343,11 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 		if flush {
 			pkts = append(pkts, r.packer.Flush()...)
 		}
-		for _, pkt := range pkts {
+		for i, pkt := range pkts {
 			if r.stop {
+				// The run already diverged: the unsent packets still own
+				// pooled buffers and must go back.
+				releaseAll(pkts[i:])
 				return nil
 			}
 			r.link.Send(len(pkt.Buf), pkt.Events, pkt.Instrs)
@@ -348,9 +356,11 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 			// packet buffer can go back to the pool immediately.
 			pkt.Release()
 			if err != nil {
+				releaseAll(pkts[i+1:])
 				return err
 			}
 			if err := r.software(rx); err != nil {
+				releaseAll(pkts[i+1:])
 				return err
 			}
 		}
@@ -372,6 +382,15 @@ func (r *runner) transport(items []wire.Item, flush bool) error {
 		}
 	}
 	return nil
+}
+
+// releaseAll returns every packet's pooled buffer. Used on early exits
+// (mismatch stop, decode error) where packed packets were never handed to
+// the software side.
+func releaseAll(pkts []batch.Packet) {
+	for i := range pkts {
+		pkts[i].Release()
+	}
 }
 
 func (r *runner) fixedReceive(pkt batch.Packet) error {

@@ -87,6 +87,17 @@ func (p *hwProducer) next() (xfer, bool, error) {
 	return x, true, nil
 }
 
+// releasePending returns the pooled buffers of packed-but-untransferred
+// packets (the pipeline stopped early on a mismatch or an error).
+func (p *hwProducer) releasePending() {
+	for _, x := range p.pending {
+		if x.pkt.Buf != nil {
+			x.pkt.Release()
+		}
+	}
+	p.pending = nil
+}
+
 // pack applies the configured transport packing and the modeled link cost,
 // mirroring runner.transport's hardware half.
 func (p *hwProducer) pack(items []wire.Item, flush bool) ([]xfer, error) {
@@ -284,6 +295,7 @@ func (r *runner) loopExecuted() error {
 		QueueDepth:  r.p.Platform.QueueDepth,
 	})
 	cons.close()
+	prod.releasePending()
 	if err == nil {
 		err = cons.firstErr()
 	}

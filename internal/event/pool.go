@@ -1,6 +1,9 @@
 package event
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Scratch-buffer pool shared by every layer that touches event bytes: the
 // codec (Equal), wire differencing, the Batch packers, and the derivable
@@ -24,9 +27,21 @@ var (
 // minBufCap keeps tiny requests from seeding the pool with useless slivers.
 const minBufCap = 512
 
+// Ownership counters: every GetBuf hands out one buffer, every accepted
+// PutBuf takes one back. The difference is the number of outstanding
+// buffers, which leak-regression tests assert returns to its baseline.
+var poolGets, poolPuts atomic.Uint64
+
+// PoolStats reports the cumulative GetBuf and PutBuf call counts.
+// gets-puts is the number of buffers currently owned outside the pool.
+func PoolStats() (gets, puts uint64) {
+	return poolGets.Load(), poolPuts.Load()
+}
+
 // GetBuf returns a zero-length scratch slice with capacity at least n. The
 // caller owns it until PutBuf.
 func GetBuf(n int) []byte {
+	poolGets.Add(1)
 	if v := bufPool.Get(); v != nil {
 		p := v.(*[]byte)
 		b := *p
@@ -45,6 +60,7 @@ func GetBuf(n int) []byte {
 // PutBuf returns a scratch slice to the pool. The slice (and every alias of
 // it) must not be used afterwards.
 func PutBuf(b []byte) {
+	poolPuts.Add(1)
 	if cap(b) == 0 {
 		return
 	}

@@ -1,0 +1,109 @@
+package event
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetBufLenAndCap(t *testing.T) {
+	for _, n := range []int{0, 1, 8, minBufCap - 1, minBufCap, minBufCap + 1, 4096} {
+		b := GetBuf(n)
+		if len(b) != 0 {
+			t.Errorf("GetBuf(%d): len = %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Errorf("GetBuf(%d): cap = %d, want >= %d", n, cap(b), n)
+		}
+		PutBuf(b)
+	}
+}
+
+func TestGetBufMinimumCapacity(t *testing.T) {
+	// Tiny requests must not seed the pool with sliver allocations.
+	b := GetBuf(1)
+	if cap(b) < minBufCap {
+		t.Errorf("GetBuf(1): cap = %d, want >= minBufCap (%d)", cap(b), minBufCap)
+	}
+	PutBuf(b)
+}
+
+func TestGetBufAlwaysZeroLength(t *testing.T) {
+	// A recycled buffer may keep its old backing bytes, but it must come
+	// back with len 0 so stale contents are never visible through the
+	// returned slice.
+	b := GetBuf(64)
+	b = append(b, 0xAB, 0xCD, 0xEF)
+	PutBuf(b)
+	c := GetBuf(32)
+	if len(c) != 0 {
+		t.Fatalf("recycled buffer has len %d, want 0", len(c))
+	}
+	c = append(c, 1)
+	if c[0] != 1 {
+		t.Fatalf("append after reuse read back %#x, want 1", c[0])
+	}
+	PutBuf(c)
+}
+
+func TestPutBufZeroCapIsNoop(t *testing.T) {
+	PutBuf(nil)      // must not panic
+	PutBuf([]byte{}) // zero-cap: nothing to recycle
+	b := GetBuf(8)
+	if len(b) != 0 {
+		t.Fatalf("GetBuf after zero-cap PutBuf: len = %d, want 0", len(b))
+	}
+	PutBuf(b)
+}
+
+func TestPoolStatsCountsOwnershipTransfers(t *testing.T) {
+	g0, p0 := PoolStats()
+	const n = 17
+	bufs := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		bufs = append(bufs, GetBuf(128))
+	}
+	g1, p1 := PoolStats()
+	if g1-g0 != n || p1-p0 != 0 {
+		t.Fatalf("after %d gets: gets delta = %d, puts delta = %d", n, g1-g0, p1-p0)
+	}
+	for _, b := range bufs {
+		PutBuf(b)
+	}
+	g2, p2 := PoolStats()
+	if g2-g0 != n || p2-p0 != n {
+		t.Fatalf("after releasing all: gets delta = %d, puts delta = %d, want %d each", g2-g0, p2-p0, n)
+	}
+}
+
+// TestConcurrentGetPut hammers the pool from many goroutines; run under
+// -race this is the data-race gate for the pool's sharing discipline.
+func TestConcurrentGetPut(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				b := GetBuf(64 + (i % 512))
+				if len(b) != 0 {
+					t.Errorf("worker %d: GetBuf returned len %d", w, len(b))
+					PutBuf(b)
+					return
+				}
+				b = append(b, byte(w), byte(i), byte(i>>8))
+				if b[0] != byte(w) {
+					t.Errorf("worker %d: wrote %d, read %d — buffer shared while owned", w, w, b[0])
+					PutBuf(b)
+					return
+				}
+				PutBuf(b)
+			}
+		}()
+	}
+	wg.Wait()
+}

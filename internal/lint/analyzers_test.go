@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestWireStruct(t *testing.T) {
+	linttest.Run(t, "testdata/wirestruct", lint.WireStruct)
+}
+
+func TestPoolCheck(t *testing.T) {
+	linttest.Run(t, "testdata/poolcheck", lint.PoolCheck)
+}
+
+func TestUseAfterRelease(t *testing.T) {
+	linttest.Run(t, "testdata/useafterrelease", lint.UseAfterRelease)
+}
+
+func TestKindSwitch(t *testing.T) {
+	linttest.Run(t, "testdata/kindswitch", lint.KindSwitch)
+}
+
+func TestAllAndByName(t *testing.T) {
+	all := lint.All()
+	if len(all) != 4 {
+		t.Fatalf("All() = %d analyzers, want 4", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing Name, Doc, or Run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+
+	sub, unknown := lint.ByName([]string{"kindswitch", "poolcheck"})
+	if unknown != "" || len(sub) != 2 {
+		t.Fatalf("ByName(kindswitch,poolcheck) = %d analyzers, unknown=%q", len(sub), unknown)
+	}
+	if _, unknown := lint.ByName([]string{"nope"}); unknown != "nope" {
+		t.Fatalf("ByName(nope) unknown = %q, want \"nope\"", unknown)
+	}
+	if def, unknown := lint.ByName(nil); unknown != "" || len(def) != len(all) {
+		t.Fatalf("ByName(nil) = %d analyzers, unknown=%q; want all %d", len(def), unknown, len(all))
+	}
+}

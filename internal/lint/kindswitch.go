@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindSwitch enforces exhaustiveness for switches over event.Kind: every
+// such switch either carries a default clause or covers all NumKinds kinds.
+// Without this, adding the 33rd event kind silently falls through the
+// checker/squash/replay dispatch paths — the event is transmitted, counted,
+// and never checked.
+var KindSwitch = &Analyzer{
+	Name: "kindswitch",
+	Doc:  "every switch over event.Kind must have a default clause or cover all event kinds",
+	Run:  runKindSwitch,
+}
+
+func runKindSwitch(pass *Pass) error {
+	evPkg := eventPackage(pass)
+	if evPkg == nil {
+		return nil
+	}
+	kindType := scopeType(evPkg, "Kind")
+	if kindType == nil {
+		return nil
+	}
+	numKinds, ok := kindCount(evPkg, kindType)
+	if !ok {
+		return nil
+	}
+	names := kindNamesByValue(evPkg, kindType, numKinds)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok || !types.Identical(tv.Type, kindType) {
+				return true
+			}
+			checkKindSwitch(pass, sw, numKinds, names)
+			return true
+		})
+	}
+	return nil
+}
+
+// kindCount reads the NumKinds sentinel constant from the event package.
+func kindCount(evPkg *types.Package, kindType types.Type) (int64, bool) {
+	c, ok := evPkg.Scope().Lookup("NumKinds").(*types.Const)
+	if !ok || !types.Identical(c.Type(), kindType) {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+	return v, ok
+}
+
+// kindNamesByValue maps each kind value to its declared constant name.
+func kindNamesByValue(evPkg *types.Package, kindType types.Type, numKinds int64) map[int64]string {
+	names := make(map[int64]string)
+	scope := evPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), kindType) || name == "NumKinds" {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok || v < 0 || v >= numKinds {
+			continue
+		}
+		// Prefer the canonical Kind* spelling if several constants alias.
+		if prev, exists := names[v]; !exists || (!strings.HasPrefix(prev, "Kind") && strings.HasPrefix(name, "Kind")) {
+			names[v] = name
+		}
+	}
+	return names
+}
+
+func checkKindSwitch(pass *Pass, sw *ast.SwitchStmt, numKinds int64, names map[int64]string) {
+	covered := make(map[int64]bool)
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: new kinds cannot fall through silently
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				continue // non-constant case expression proves nothing
+			}
+			if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for v := int64(0); v < numKinds; v++ {
+		if !covered[v] {
+			name := names[v]
+			if name == "" {
+				name = fmt.Sprintf("Kind(%d)", v)
+			}
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	shown := missing
+	const maxShown = 4
+	suffix := ""
+	if len(shown) > maxShown {
+		suffix = fmt.Sprintf(", … %d more", len(shown)-maxShown)
+		shown = shown[:maxShown]
+	}
+	pass.Reportf(sw.Pos(),
+		"switch over event.Kind has no default clause and covers %d of %d kinds (missing %s%s) — a new kind would silently fall through",
+		numKinds-int64(len(missing)), numKinds, strings.Join(shown, ", "), suffix)
+}

@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// Loader loads and typechecks packages without golang.org/x/tools: package
+// metadata comes from `go list -json -deps`, sources are parsed with
+// go/parser, and go/types checks them in dependency (post-)order.
+// Dependencies are checked with IgnoreFuncBodies — only their API surface is
+// needed — while target packages get full bodies and a complete types.Info,
+// which is what the analyzers consume.
+type Loader struct {
+	// Dir is the directory go list runs in (the module root). Defaults to
+	// the current directory.
+	Dir string
+
+	fset    *token.FileSet
+	checked map[string]*types.Package // by resolved import path
+	meta    map[string]*listPackage
+	sizes   types.Sizes
+}
+
+// NewLoader returns a loader rooted at dir ("" = current directory).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		checked: make(map[string]*types.Package),
+		meta:    make(map[string]*listPackage),
+		sizes:   types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves the patterns (e.g. "./...") and returns the matched
+// packages, fully typechecked with bodies and info. Their dependencies are
+// loaded as API-only shells and not returned.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.listRoots(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.listDeps(patterns); err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, path := range roots {
+		pkg, err := l.loadTarget(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// listRoots returns the import paths the patterns match.
+func (l *Loader) listRoots(patterns []string) ([]string, error) {
+	out, err := l.goList(append([]string{"list", "--"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	var roots []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			roots = append(roots, line)
+		}
+	}
+	return roots, nil
+}
+
+// listDeps populates l.meta with the patterns' full dependency graph.
+func (l *Loader) listDeps(patterns []string) error {
+	out, err := l.goList(append([]string{"list", "-json", "-deps", "--"}, patterns...))
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		l.meta[p.ImportPath] = &p
+	}
+}
+
+func (l *Loader) goList(args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// ensureMeta fetches go list metadata for path on demand (used when a
+// testdata package imports something outside the preloaded graph).
+func (l *Loader) ensureMeta(path string) (*listPackage, error) {
+	if p, ok := l.meta[path]; ok {
+		return p, nil
+	}
+	if err := l.listDeps([]string{path}); err != nil {
+		return nil, err
+	}
+	p, ok := l.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: go list did not resolve %q", path)
+	}
+	return p, nil
+}
+
+// loadTarget typechecks path with full function bodies and analyzer info.
+func (l *Loader) loadTarget(path string) (*Package, error) {
+	meta, err := l.ensureMeta(path)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Error != nil {
+		return nil, fmt.Errorf("lint: %s: %s", path, meta.Error.Err)
+	}
+	files, err := l.parseDir(meta.Dir, meta.GoFiles, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	tpkg, err := l.check(path, meta, files, false, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        meta.Dir,
+		Standard:   meta.Standard,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadDir parses and typechecks the .go files of a single directory that go
+// list cannot see (an analyzer testdata tree), resolving its imports through
+// the loader. importPath names the resulting package.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	files, err := l.parseDir(dir, names, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer:    &loaderImporter{l: l},
+		FakeImportC: true,
+		Sizes:       l.sizes,
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typechecking %s: %w", dir, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+func (l *Loader) parseDir(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importDep typechecks a dependency package (API only, bodies ignored),
+// memoizing by resolved import path.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	meta, err := l.ensureMeta(path)
+	if err != nil {
+		return nil, err
+	}
+	// Cgo-using dependencies cannot be fully parsed without running cgo;
+	// their Go files still declare the exported API we need, and any
+	// resulting "undeclared name" errors are tolerated below.
+	files, err := l.parseDir(meta.Dir, meta.GoFiles, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.check(path, meta, files, true, nil)
+	if err != nil && pkg == nil {
+		return nil, fmt.Errorf("lint: typechecking dependency %s: %w", path, err)
+	}
+	pkg.MarkComplete()
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) check(path string, meta *listPackage, files []*ast.File, dep bool, info *types.Info) (*types.Package, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer:         &loaderImporter{l: l, importMap: meta.ImportMap},
+		FakeImportC:      true,
+		IgnoreFuncBodies: dep,
+		Sizes:            l.sizes,
+	}
+	if dep {
+		// API-only dependencies may reference symbols provided by assembly,
+		// cgo, or linkname; collect instead of failing on the first error so
+		// the exported surface still materializes.
+		conf.Error = func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err == nil {
+		err = firstErr
+	}
+	return pkg, err
+}
+
+// loaderImporter resolves imports against the loader, applying the importing
+// package's vendor ImportMap first.
+type loaderImporter struct {
+	l         *Loader
+	importMap map[string]string
+}
+
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	return im.l.importDep(path)
+}

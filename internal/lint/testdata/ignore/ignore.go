@@ -1,0 +1,33 @@
+// Package ignore holds fixtures for justified //lint:ignore suppression:
+// a well-formed directive with a reason silences exactly one line.
+package ignore
+
+import "repro/internal/event"
+
+// justifiedStandalone suppresses the finding on the next line.
+func justifiedStandalone(k event.Kind) bool {
+	//lint:ignore kindswitch replay only routes memory kinds; others are filtered upstream
+	switch k {
+	case event.KindLoad, event.KindStore, event.KindAtomic:
+		return true
+	}
+	return false
+}
+
+// justifiedTrailing suppresses the finding on its own line.
+func justifiedTrailing(k event.Kind) bool {
+	switch k { //lint:ignore kindswitch trace path only ever sees traps
+	case event.KindTrap:
+		return true
+	}
+	return false
+}
+
+// unsuppressed still reports: the directives above do not leak here.
+func unsuppressed(k event.Kind) bool {
+	switch k { // want `covers 1 of 32 kinds`
+	case event.KindTrap:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+// Package ignorebad holds fixtures for rejected //lint:ignore directives:
+// no reason, unknown analyzer, and a directive that suppresses nothing. The
+// driver reports each as a finding and the underlying diagnostics survive.
+// (Checked programmatically — the driver findings land on the directive's
+// own comment line, where a want comment cannot sit.)
+package ignorebad
+
+import "repro/internal/event"
+
+// noReason: unjustified ignores are rejected and do not suppress.
+func noReason(k event.Kind) bool {
+	//lint:ignore kindswitch
+	switch k {
+	case event.KindTrap:
+		return true
+	}
+	return false
+}
+
+// unknownAnalyzer: a typo'd analyzer name is rejected and does not suppress.
+func unknownAnalyzer(k event.Kind) bool {
+	//lint:ignore kindswich partial dispatch is fine here
+	switch k {
+	case event.KindTrap:
+		return true
+	}
+	return false
+}
+
+// unused: a directive that matches no finding is itself a finding.
+func unused(k event.Kind) bool {
+	//lint:ignore kindswitch this switch has a default already
+	switch k {
+	case event.KindTrap:
+		return true
+	default:
+		return false
+	}
+}

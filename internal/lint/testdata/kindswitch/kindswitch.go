@@ -1,0 +1,79 @@
+// Package kindswitch holds fixtures for the kindswitch analyzer: every
+// switch over event.Kind needs a default clause or full coverage of the 32
+// kinds.
+package kindswitch
+
+import "repro/internal/event"
+
+// nonExhaustive misses 30 kinds and has no default.
+func nonExhaustive(k event.Kind) int {
+	switch k { // want `covers 2 of 32 kinds`
+	case event.KindTrap:
+		return 1
+	case event.KindLoad:
+		return 2
+	}
+	return 0
+}
+
+// methodTag switches on a Kind produced by a method call.
+func methodTag(c *event.InstrCommit) bool {
+	switch c.Kind() { // want `covers 1 of 32 kinds`
+	case event.KindInstrCommit:
+		return true
+	}
+	return false
+}
+
+// withDefault is exempt: new kinds land in the default arm.
+func withDefault(k event.Kind) int {
+	switch k {
+	case event.KindTrap:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// exhaustive covers every kind explicitly.
+func exhaustive(k event.Kind) bool {
+	switch k {
+	case event.KindInstrCommit, event.KindTrap, event.KindException,
+		event.KindInterrupt, event.KindRedirect:
+		return true
+	case event.KindArchIntRegState, event.KindArchFpRegState,
+		event.KindCSRState, event.KindArchVecRegState, event.KindVecCSRState,
+		event.KindFpCSRState, event.KindHCSRState, event.KindDebugCSRState,
+		event.KindTriggerCSRState:
+		return true
+	case event.KindLoad, event.KindStore, event.KindAtomic:
+		return true
+	case event.KindSbuffer, event.KindL1TLB, event.KindL2TLB,
+		event.KindRefill, event.KindLrSc, event.KindCMO:
+		return true
+	case event.KindVecCommit, event.KindVecWriteback, event.KindVecMem,
+		event.KindHTrap, event.KindGuestPageFault, event.KindVstartUpdate,
+		event.KindHLoad, event.KindVirtualInterrupt,
+		event.KindVecExceptionTrack:
+		return true
+	}
+	return false
+}
+
+// otherType switches over a plain uint8 — out of scope.
+func otherType(n uint8) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}
+
+// noTag is a tagless switch — out of scope.
+func noTag(k event.Kind) bool {
+	switch {
+	case k == event.KindTrap:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+// Package useafterrelease holds fixtures for the useafterrelease analyzer:
+// once a pooled buffer or Packet goes back to the pool, no alias of it may
+// be read, written, or retained.
+package useafterrelease
+
+import (
+	"repro/internal/batch"
+	"repro/internal/event"
+)
+
+func work(b []byte) {}
+
+// useAfterPut reads the buffer after returning it to the pool.
+func useAfterPut() byte {
+	buf := event.GetBuf(8)
+	buf = append(buf, 1)
+	event.PutBuf(buf)
+	return buf[0] // want `used after being returned to the pool`
+}
+
+// writeAfterPut writes through the released buffer.
+func writeAfterPut() {
+	buf := event.GetBuf(8)
+	event.PutBuf(buf)
+	buf[0] = 1 // want `used after being returned to the pool`
+}
+
+// doubleRelease returns the same buffer twice.
+func doubleRelease() {
+	buf := event.GetBuf(8)
+	event.PutBuf(buf)
+	event.PutBuf(buf) // want `used after being returned to the pool`
+}
+
+// payloadAfterRelease reads a packet's payload after Release.
+func payloadAfterRelease(pkt batch.Packet) int {
+	pkt.Release()
+	return len(pkt.Buf) // want `used after being returned to the pool`
+}
+
+// retained stores the buffer into a structure that outlives the call and
+// still releases it.
+type keeper struct {
+	b []byte
+}
+
+func retained(k *keeper) {
+	buf := event.GetBuf(8)
+	k.b = buf // want `stored into a structure`
+	event.PutBuf(buf)
+}
+
+// retainedChan sends the buffer away and still releases it.
+func retainedChan(ch chan []byte) {
+	buf := event.GetBuf(8)
+	ch <- buf // want `sent on a channel`
+	event.PutBuf(buf)
+}
+
+// retainedComposite wraps the buffer in a packet and also releases the raw
+// slice — Release on the packet would then double-free.
+func retainedComposite() batch.Packet {
+	buf := event.GetBuf(8)
+	p := batch.Packet{Buf: buf} // want `stored into a composite literal`
+	event.PutBuf(buf)
+	return p
+}
+
+// --- clean patterns below: no findings expected ---
+
+// guardOK releases only on the error branch; the later use is on the other
+// path.
+func guardOK(ok bool) []byte {
+	buf := event.GetBuf(8)
+	if !ok {
+		event.PutBuf(buf)
+		return nil
+	}
+	return buf
+}
+
+// rebindOK reassigns the variable before reusing it.
+func rebindOK() []byte {
+	buf := event.GetBuf(8)
+	event.PutBuf(buf)
+	buf = event.GetBuf(16)
+	return buf
+}
+
+// lastUseOK releases as the final touch.
+func lastUseOK() {
+	buf := event.GetBuf(8)
+	work(buf)
+	event.PutBuf(buf)
+}
+
+// transferOK stores without releasing — plain ownership transfer.
+func transferOK(k *keeper) {
+	k.b = event.GetBuf(8)
+}
+
+// loopOK releases at the end of each iteration; the next iteration's use
+// follows a rebind.
+func loopOK(n int) {
+	for i := 0; i < n; i++ {
+		buf := event.GetBuf(8)
+		work(buf)
+		event.PutBuf(buf)
+	}
+}

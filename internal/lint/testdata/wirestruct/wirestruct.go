@@ -1,0 +1,76 @@
+// Package wirestruct holds fixtures for the wirestruct analyzer: structs
+// with a `Kind() event.Kind` method are wire payloads and must be
+// fixed-size, pointer-free, and agree with their EncodedSize constant.
+package wirestruct
+
+import "repro/internal/event"
+
+// Good is fixed-size (8+4+4 = 16 bytes, blank padding included) and its
+// EncodedSize agrees.
+type Good struct {
+	Cycle uint64
+	PC    uint32
+	_     [4]uint8
+}
+
+func (*Good) Kind() event.Kind { return event.KindTrap }
+func (*Good) EncodedSize() int { return 16 }
+
+// BadSlice smuggles a variable-size payload.
+type BadSlice struct {
+	Data []byte // want `non-fixed-size type`
+	N    uint32
+}
+
+func (*BadSlice) Kind() event.Kind { return event.KindTrap }
+
+// BadFields collects the other forbidden field classes.
+type BadFields struct {
+	P *uint64 // want `non-fixed-size type`
+	S string  // want `non-fixed-size type`
+	N int     // want `non-fixed-size type`
+}
+
+func (*BadFields) Kind() event.Kind { return event.KindTrap }
+
+// Drifted's layout is 12 bytes but the generated method says 16.
+type Drifted struct {
+	Cycle uint64
+	PC    uint32
+}
+
+func (*Drifted) Kind() event.Kind { return event.KindTrap }
+
+func (*Drifted) EncodedSize() int { return 16 } // want `drifted`
+
+// NonConst's EncodedSize is not a single constant return.
+type NonConst struct {
+	Cycle uint64
+}
+
+func (*NonConst) Kind() event.Kind { return event.KindTrap }
+
+func (*NonConst) EncodedSize() int { // want `single integer constant`
+	s := 8
+	return s
+}
+
+// Nested embeds fixed-size structs; arrays of structs count too.
+type Inner struct {
+	A uint16
+	B uint16
+}
+
+type Nested struct {
+	Head  Inner
+	Tail  [3]Inner
+	Valid bool
+}
+
+func (*Nested) Kind() event.Kind { return event.KindLrSc }
+func (*Nested) EncodedSize() int { return 17 }
+
+// NotAnEvent has no Kind method, so its slice field is fine.
+type NotAnEvent struct {
+	Data []byte
+}

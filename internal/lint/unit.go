@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Vettool-compatible plumbing: `go vet -vettool=$(which difftestlint)` drives
+// the tool once per package with the unitchecker protocol —
+//
+//	difftestlint -V=full          → print a tool-version fingerprint
+//	difftestlint -flags           → print the supported analyzer flags (JSON)
+//	difftestlint <file>.cfg       → analyze one package described by the
+//	                                JSON config, typechecking against the
+//	                                compiler's export data, and print
+//	                                findings
+//
+// This lets difftestlint reuse the go command's per-package action graph and
+// caching instead of its own `go list` loader. The cfg schema mirrors
+// x/tools' unitchecker.Config (the schema the go command emits).
+
+// unitConfig is the subset of the go command's vet config this tool reads.
+type unitConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool implements the protocol above for the given command-line args
+// (os.Args[1:]). It returns true when it recognized and fully handled the
+// invocation (the caller should exit with the returned code), false when the
+// args are not a vettool handshake and the normal CLI should proceed.
+func RunVetTool(progName string, args []string, stdout, stderr io.Writer) (handled bool, code int) {
+	if len(args) == 1 && args[0] == "-V=full" {
+		// The go command fingerprints the tool for its build cache with a
+		// "name version ..." line.
+		fmt.Fprintf(stdout, "%s version v1.0.0-difftestlint\n", filepath.Base(progName))
+		return true, 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// No analyzer-specific flags; an empty JSON list tells go vet so.
+		fmt.Fprintln(stdout, "[]")
+		return true, 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		code, err := runUnit(args[0], stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", filepath.Base(progName), err)
+			return true, 1
+		}
+		return true, code
+	}
+	return false, 0
+}
+
+func runUnit(cfgFile string, stdout io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The go command caches the facts file; ours is always empty (the
+	// analyzers are purely local) but must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependencies are analyzed only for facts; we have none.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	// Typecheck against the compiler's export data, exactly as vet does.
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer:    &unitImporter{gc: gc, importMap: cfg.ImportMap},
+		FakeImportC: true,
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Standard:   cfg.Standard[cfg.ImportPath],
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	findings, err := Run([]*Package{pkg}, All())
+	if err != nil {
+		return 0, err
+	}
+	// vet surfaces the tool's stdout/stderr verbatim on failure; the plain
+	// file:line:col form keeps it consistent with the standalone CLI.
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// unitImporter maps source import paths through the vet config's vendor map
+// before consulting gc export data.
+type unitImporter struct {
+	gc        types.Importer
+	importMap map[string]string
+}
+
+func (im *unitImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.gc.Import(path)
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// WireStruct verifies the structural contract every registered event payload
+// struct must satisfy for the generated zero-allocation codec to be sound:
+// the struct is fixed-size and pointer-free (no slices, maps, strings,
+// pointers, interfaces, chans, funcs, or platform-sized ints), and the size
+// computed from its field layout (encoding/binary rules: packed
+// little-endian, blank padding fields included) equals the constant its
+// generated EncodedSize method returns. A mismatch means codec_gen.go has
+// drifted from the struct definition — caught here at the type level, before
+// `go generate` or any runtime registration check runs.
+var WireStruct = &Analyzer{
+	Name: "wirestruct",
+	Doc:  "event payload structs must be fixed-size, pointer-free, and agree with their generated EncodedSize",
+	Run:  runWireStruct,
+}
+
+func runWireStruct(pass *Pass) error {
+	evPkg := eventPackage(pass)
+	if evPkg == nil {
+		return nil
+	}
+	kindType := scopeType(evPkg, "Kind")
+	if kindType == nil {
+		return nil
+	}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || !implementsEvent(named, kindType) {
+			continue
+		}
+		checkWireStruct(pass, tn, named, st)
+	}
+	return nil
+}
+
+// scopeType looks up a named type in pkg's scope.
+func scopeType(pkg *types.Package, name string) types.Type {
+	tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return tn.Type()
+}
+
+// implementsEvent reports whether *T declares the event marker method
+// `Kind() event.Kind`, identifying T as a registered wire payload.
+func implementsEvent(named *types.Named, kindType types.Type) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		fn := ms.At(i).Obj().(*types.Func)
+		if fn.Name() != "Kind" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+			types.Identical(sig.Results().At(0).Type(), kindType) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkWireStruct(pass *Pass, tn *types.TypeName, named *types.Named, st *types.Struct) {
+	size, ok := checkFields(pass, tn, st, tn.Name())
+	if !ok {
+		return // field problems already reported; size is meaningless
+	}
+
+	got, decl, found := encodedSizeConst(pass, named)
+	if !found {
+		return // method generated elsewhere or embedded; nothing to compare
+	}
+	if decl == nil {
+		return // non-constant body already reported by encodedSizeConst
+	}
+	if got != size {
+		pass.Reportf(decl.Pos(),
+			"wire struct %s: EncodedSize returns %d but the field layout is %d bytes — codec_gen.go drifted, rerun go generate ./...",
+			tn.Name(), got, size)
+	}
+}
+
+// checkFields validates every field recursively and returns the packed wire
+// size. ok is false if any field has a non-fixed-size type.
+func checkFields(pass *Pass, tn *types.TypeName, st *types.Struct, path string) (int, bool) {
+	total, ok := 0, true
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		fpath := path + "." + f.Name()
+		n, fixed := wireSizeOf(f.Type())
+		if !fixed {
+			pass.Reportf(f.Pos(),
+				"wire struct %s: field %s has non-fixed-size type %s (slices, maps, strings, pointers, interfaces, and platform-sized ints are forbidden in event payloads)",
+				tn.Name(), fpath, f.Type())
+			ok = false
+			continue
+		}
+		total += n
+	}
+	return total, ok
+}
+
+// wireSizeOf computes the packed encoding/binary size of t, or ok=false if t
+// has no fixed wire size.
+func wireSizeOf(t types.Type) (int, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool, types.Int8, types.Uint8:
+			return 1, true
+		case types.Int16, types.Uint16:
+			return 2, true
+		case types.Int32, types.Uint32, types.Float32:
+			return 4, true
+		case types.Int64, types.Uint64, types.Float64, types.Complex64:
+			return 8, true
+		case types.Complex128:
+			return 16, true
+		}
+		return 0, false // int, uint, uintptr, string, unsafe.Pointer
+	case *types.Array:
+		n, ok := wireSizeOf(u.Elem())
+		return int(u.Len()) * n, ok
+	case *types.Struct:
+		total := 0
+		for i := 0; i < u.NumFields(); i++ {
+			n, ok := wireSizeOf(u.Field(i).Type())
+			if !ok {
+				return 0, false
+			}
+			total += n
+		}
+		return total, true
+	}
+	return 0, false
+}
+
+// encodedSizeConst finds T's EncodedSize method declaration in this package
+// and extracts the constant it returns. found is false when the declaration
+// is not in this package; a declaration with a non-constant body is reported
+// and returned as (0, nil, true).
+func encodedSizeConst(pass *Pass, named *types.Named) (size int, decl *ast.FuncDecl, found bool) {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "EncodedSize" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil || !sameNamed(recv.Type(), named) {
+				continue
+			}
+			v, ok := constReturn(pass, fd)
+			if !ok {
+				pass.Reportf(fd.Pos(),
+					"wire struct %s: EncodedSize must return a single integer constant (generated codec contract)",
+					named.Obj().Name())
+				return 0, nil, true
+			}
+			return v, fd, true
+		}
+	}
+	return 0, nil, false
+}
+
+func sameNamed(t types.Type, named *types.Named) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}
+
+// constReturn extracts the integer constant from a body of the exact form
+// `return <const-expr>`.
+func constReturn(pass *Pass, fd *ast.FuncDecl) (int, bool) {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return 0, false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return 0, false
+	}
+	tv, ok := pass.Info.Types[ret.Results[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return 0, false
+	}
+	return int(v), true
+}

@@ -1,0 +1,29 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestBuildNonSnapshotKindsReturnNil pins the default arm added for
+// kindswitch exhaustiveness: every non-snapshot kind builds nothing.
+func TestBuildNonSnapshotKindsReturnNil(t *testing.T) {
+	m := machine()
+	snapshotKinds := make(map[event.Kind]bool, len(SnapshotKinds))
+	for _, k := range SnapshotKinds {
+		snapshotKinds[k] = true
+	}
+	for k := event.Kind(0); k < event.NumKinds; k++ {
+		ev := Build(k, m)
+		if snapshotKinds[k] {
+			if ev == nil {
+				t.Errorf("Build(%v) = nil, want a snapshot event", k)
+			} else if ev.Kind() != k {
+				t.Errorf("Build(%v) built kind %v", k, ev.Kind())
+			}
+		} else if ev != nil {
+			t.Errorf("Build(%v) = %T, want nil for a non-snapshot kind", k, ev)
+		}
+	}
+}

@@ -125,8 +125,10 @@ func Build(k event.Kind, m *arch.Machine) event.Event {
 		return DebugCSRState(m)
 	case event.KindTriggerCSRState:
 		return TriggerCSRState(m)
+	default:
+		// Not an architectural-state snapshot kind.
+		return nil
 	}
-	return nil
 }
 
 // SnapshotKinds lists the event kinds that Build can construct.

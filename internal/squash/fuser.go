@@ -115,8 +115,10 @@ func taggedKind(k event.Kind) bool {
 	case event.KindRefill, event.KindCMO, event.KindL1TLB, event.KindL2TLB,
 		event.KindSbuffer, event.KindRedirect:
 		return true
+	default:
+		// Everything else is either fused state or derivable by the model.
+		return false
 	}
-	return false
 }
 
 // Cycle processes one cycle's records for this core (with their replay

@@ -1,0 +1,23 @@
+package squash
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestTaggedKindDefault pins the default arm added for kindswitch
+// exhaustiveness: only the six DUT-specific memory-hierarchy/redirect kinds
+// are transmitted ahead with an order tag; everything else is fused or
+// derivable.
+func TestTaggedKindDefault(t *testing.T) {
+	tagged := map[event.Kind]bool{
+		event.KindRefill: true, event.KindCMO: true, event.KindL1TLB: true,
+		event.KindL2TLB: true, event.KindSbuffer: true, event.KindRedirect: true,
+	}
+	for k := event.Kind(0); k < event.NumKinds; k++ {
+		if got := taggedKind(k); got != tagged[k] {
+			t.Errorf("taggedKind(%v) = %v, want %v", k, got, tagged[k])
+		}
+	}
+}
