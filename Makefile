@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke ci
+.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke integration ci
 
 build:
 	$(GO) build ./...
@@ -52,8 +52,16 @@ bench-codec:
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=10s -run='^$$' ./internal/event
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run='^$$' ./internal/transport
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke
+# Networked loopback gate: a real difftestd-equivalent server on a Unix
+# socket, concurrent sessions (one injected-bug mismatching, one clean, plus
+# a 5-session fan-in), token-window stalls, cancellation — all under -race,
+# with the buffer pool balanced across both ends of the wire.
+integration:
+	$(GO) test -race -count=1 -run='TestLoopback|TestRemoteCancellation' -v ./internal/cosim
+
+ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke integration

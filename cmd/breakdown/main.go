@@ -1,6 +1,7 @@
-// Command breakdown regenerates Table 5 of the paper: the incremental
+// Command breakdown regenerates Table 5 of the paper — the incremental
 // speedups from Batch, NonBlock, and Squash on NutShell-Palladium,
-// XiangShan-Palladium, and XiangShan-FPGA.
+// XiangShan-Palladium, and XiangShan-FPGA — plus the executed pipeline's
+// measured queue occupancy and backpressure for the same configurations.
 package main
 
 import (
@@ -16,4 +17,5 @@ func main() {
 	flag.Parse()
 	experiments.Workers = *workers
 	fmt.Println(experiments.Table5(*instrs))
+	fmt.Println(experiments.PipelineOccupancy(*instrs))
 }

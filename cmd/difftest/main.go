@@ -7,14 +7,22 @@
 //	difftest -dut xiangshan -platform palladium -config EBINSD -workload linux
 //	difftest -bug load-sign-extension -config EBINSD   # inject and detect a bug
 //	difftest -executed                                 # modeled vs executed pipeline
+//	difftest -remote unix:/tmp/difftestd.sock          # check on a difftestd server
 //	difftest -list                                     # show available options
+//
+// SIGINT/SIGTERM cancel the run cooperatively: the co-simulation loop drains
+// its in-flight pooled buffers through the normal release paths before the
+// process exits, so an interrupted run still reports a balanced buffer pool.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/arch"
@@ -38,10 +46,15 @@ func main() {
 		threads  = flag.Int("threads", 16, "verilator host threads")
 		executed = flag.Bool("executed", false,
 			"run every configuration through both the analytic model and the executed concurrent pipeline and report speedup deltas")
+		remote = flag.String("remote", "",
+			"stream the hardware side to a difftestd server at this address (host:port or unix:<path>); with -executed, adds a networked column to the comparison")
 		verbose = flag.Bool("v", false, "print communication counters")
 		list    = flag.Bool("list", false, "list DUTs, workloads, and bugs")
 	)
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
 
 	if *list {
 		printOptions()
@@ -75,11 +88,13 @@ func main() {
 	if *executed {
 		cmp, err := cosim.CompareModes(cosim.Params{
 			DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed, Hooks: hooks,
+			Ctx: ctx, RemoteAddr: *remote,
 		}, freshHooks)
 		exitOn(err)
 		printComparison(cmp)
 		for _, row := range cmp.Rows {
-			if row.Modeled.Mismatch != nil || row.Executed.Mismatch != nil {
+			if row.Modeled.Mismatch != nil || row.Executed.Mismatch != nil ||
+				(row.Remote != nil && row.Remote.Mismatch != nil) {
 				os.Exit(2)
 			}
 		}
@@ -88,6 +103,7 @@ func main() {
 
 	res, err := cosim.Run(cosim.Params{
 		DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed, Hooks: hooks,
+		Ctx: ctx, RemoteAddr: *remote,
 	})
 	exitOn(err)
 
@@ -110,6 +126,10 @@ func main() {
 		if res.PacketUtilation > 0 {
 			fmt.Printf("batch: packet utilization %.2f\n", res.PacketUtilation)
 		}
+	}
+	if *remote != "" && res.Exec != nil {
+		fmt.Printf("remote: wall %s, backpressure %d, token stalls %d\n",
+			res.Exec.Wall.Round(time.Microsecond), res.Exec.Backpressure, res.Exec.TokenStalls)
 	}
 	if res.Mismatch != nil {
 		os.Exit(2)
@@ -144,11 +164,24 @@ func pickPlatform(name string, threads int) (platform.Platform, error) {
 
 // printComparison renders the modeled-vs-executed table: the analytic model
 // predicts speedups from the platform cost model; the executed pipeline
-// measures how much wall-clock overlap the concurrency achieves on this host.
+// measures how much wall-clock overlap the concurrency achieves on this
+// host. When the comparison ran against a difftestd server, a third group of
+// columns reports the networked run: wall clock, speedup over the networked
+// baseline, and token-window stalls (the credit window filling up — the
+// networked analogue of local backpressure).
 func printComparison(cmp *cosim.ModeComparison) {
-	fmt.Println("Modeled (analytic) vs executed (concurrent pipeline):")
+	remote := len(cmp.Rows) > 0 && cmp.Rows[0].Remote != nil
+	if remote {
+		fmt.Println("Modeled (analytic) vs executed (concurrent pipeline) vs remote (difftestd):")
+	} else {
+		fmt.Println("Modeled (analytic) vs executed (concurrent pipeline):")
+	}
 	header := []string{"Config", "Modeled speed", "Modeled speedup",
-		"Executed wall", "Executed speedup", "Overlap", "Backpressure", "Verdict"}
+		"Executed wall", "Executed speedup", "Overlap", "Backpressure"}
+	if remote {
+		header = append(header, "Remote wall", "Remote speedup", "Token stalls")
+	}
+	header = append(header, "Verdict")
 	var rows [][]string
 	for i, row := range cmp.Rows {
 		ex := row.Executed.Exec
@@ -156,7 +189,7 @@ func printComparison(cmp *cosim.ModeComparison) {
 		if row.Executed.Mismatch != nil {
 			verdict = "mismatch"
 		}
-		rows = append(rows, []string{
+		cells := []string{
 			row.Config,
 			fmt.Sprintf("%.1f KHz", row.Modeled.SpeedHz/1e3),
 			fmt.Sprintf("%.2fx", cmp.ModeledSpeedup(i)),
@@ -164,12 +197,26 @@ func printComparison(cmp *cosim.ModeComparison) {
 			fmt.Sprintf("%.2fx", cmp.ExecutedSpeedup(i)),
 			fmt.Sprintf("%.0f%%", ex.OverlapShare()*100),
 			fmt.Sprint(ex.Backpressure),
-			verdict,
-		})
+		}
+		if remote {
+			rx := row.Remote.Exec
+			cells = append(cells,
+				rx.Wall.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.2fx", cmp.RemoteSpeedup(i)),
+				fmt.Sprint(rx.TokenStalls),
+			)
+			if row.Remote.Mismatch != nil {
+				verdict = "mismatch"
+			}
+		}
+		rows = append(rows, append(cells, verdict))
 	}
 	fmt.Print(stats.Table(header, rows))
 	fmt.Println("note: modeled speedups come from the platform cost model (simulated time);")
 	fmt.Println("      executed speedups are measured wall clock and depend on host cores")
+	if remote {
+		fmt.Println("      remote speedups include real socket framing and the server's token window")
+	}
 }
 
 func printOptions() {

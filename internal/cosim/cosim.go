@@ -13,6 +13,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -89,6 +90,18 @@ type Params struct {
 	Platform platform.Platform
 	Opt      Options
 	Workload workload.Profile
+
+	// Ctx, when set, cancels the run cooperatively: the cycle loop (and the
+	// executed producer stage) checks it and aborts with ctx.Err(), so
+	// pooled packet buffers drain through the same release paths a mismatch
+	// stop uses. cmd/difftest wires SIGINT/SIGTERM here.
+	Ctx context.Context
+
+	// RemoteAddr, when non-empty, streams the hardware side to a difftestd
+	// verification server at this address ("host:port" or "unix:<path>")
+	// instead of checking in-process. Remote runs are always executed
+	// (concurrent pipeline); Result.Exec reports the networked wall clock.
+	RemoteAddr string
 
 	// Seed controls workload generation (DUT timing has its own seed).
 	Seed int64
@@ -185,7 +198,10 @@ func Run(p Params) (*Result, error) {
 	r := &runner{p: p, opt: opt, d: d, chk: chk, link: link, res: res, enabled: enabled}
 	r.setup()
 	loop := r.loop
-	if opt.Executed {
+	switch {
+	case p.RemoteAddr != "":
+		loop = r.loopRemote
+	case opt.Executed:
 		loop = r.loopExecuted
 	}
 	if err := loop(); err != nil {
@@ -247,8 +263,27 @@ func (r *runner) setup() {
 	}
 }
 
+// cancelled reports the run's cooperative-cancellation state (Params.Ctx):
+// nil while the run may continue, ctx.Err() once cancelled. Both the
+// sequential cycle loop and the executed producer stage poll it, so an
+// interrupt drains pooled packet buffers through the normal release paths.
+func (r *runner) cancelled() error {
+	if r.p.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-r.p.Ctx.Done():
+		return r.p.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
 func (r *runner) loop() error {
 	for cycle := uint64(0); cycle < r.p.MaxCycles && !r.stop; cycle++ {
+		if err := r.cancelled(); err != nil {
+			return err
+		}
 		recs, done := r.d.StepCycle()
 		r.link.AdvanceCycle()
 		if r.p.Trace != nil {

@@ -50,6 +50,9 @@ func (p *hwProducer) next() (xfer, bool, error) {
 		if p.finished {
 			return xfer{}, false, nil
 		}
+		if err := r.cancelled(); err != nil {
+			return xfer{}, false, err
+		}
 		if r.d.CycleCount >= r.p.MaxCycles {
 			return xfer{}, false, fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
 		}
@@ -91,11 +94,17 @@ func (p *hwProducer) next() (xfer, bool, error) {
 // packets (the pipeline stopped early on a mismatch or an error).
 func (p *hwProducer) releasePending() {
 	for _, x := range p.pending {
-		if x.pkt.Buf != nil {
-			x.pkt.Release()
-		}
+		dropXfer(x)
 	}
 	p.pending = nil
+}
+
+// dropXfer releases a transfer the consumer never saw — the pipeline's Drop
+// callback for transfers stranded in flight by an early stop.
+func dropXfer(x xfer) {
+	if x.pkt.Buf != nil {
+		x.pkt.Release()
+	}
 }
 
 // pack applies the configured transport packing and the modeled link cost,
@@ -293,7 +302,7 @@ func (r *runner) loopExecuted() error {
 	m, err := pipeline.Run(prod.next, cons.sink, pipeline.Config{
 		NonBlocking: r.opt.NonBlocking,
 		QueueDepth:  r.p.Platform.QueueDepth,
-	})
+	}, dropXfer)
 	cons.close()
 	prod.releasePending()
 	if err == nil {

@@ -1,0 +1,84 @@
+package cosim
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/transport"
+)
+
+// Remote co-simulation (Params.RemoteAddr): the hardware side — DUT monitor,
+// acceleration unit, modeled link accounting — runs locally exactly as in
+// the executed pipeline, but the software side lives in a difftestd server
+// across a real socket. The pipeline's consumer stage becomes the network
+// send under the server's token window, so Result.Exec measures networked
+// wall-clock throughput (ExecutedHz) and the token-window stalls surface as
+// pipeline.Metrics.TokenStalls.
+//
+// The mismatch verdict comes back as a typed report frame carrying the
+// checker's full diagnosis; the Replay round trip is skipped (the replay
+// buffer is client-side hardware, the checker server-side), so remote runs
+// report Mismatch but never Replay.
+
+// helloFor builds the session handshake from run parameters.
+func (r *runner) helloFor() transport.Hello {
+	return transport.Hello{
+		DUT:          r.p.DUT.Name,
+		Platform:     r.p.Platform.Name,
+		Config:       r.opt.Name(),
+		CoupleOrder:  r.opt.CoupleOrder,
+		FixedOffset:  r.opt.FixedOffset,
+		MaxFuse:      r.opt.MaxFuse,
+		Workload:     r.p.Workload.Name,
+		TargetInstrs: r.p.Workload.TargetInstrs,
+		Seed:         r.p.Seed,
+	}
+}
+
+// loopRemote drives the concurrent pipeline with the networked consumer:
+// the producer stage is the local hardware side, the sink streams each
+// transfer to the server and stops when a verdict frame arrives.
+func (r *runner) loopRemote() error {
+	cl, err := transport.Dial(r.p.RemoteAddr, r.helloFor(), transport.ClientConfig{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	prod := &hwProducer{r: r}
+	sink := func(x xfer) (bool, error) {
+		if x.pkt.Buf != nil {
+			return cl.SendPacket(x.pkt)
+		}
+		return cl.SendItems(x.items)
+	}
+	m, err := pipeline.Run(prod.next, sink, pipeline.Config{
+		NonBlocking: r.opt.NonBlocking,
+		QueueDepth:  r.p.Platform.QueueDepth,
+	}, dropXfer)
+	prod.releasePending()
+	if err != nil {
+		return err
+	}
+	m.TokenStalls = cl.Stalls()
+	r.res.Exec = m
+
+	v, err := cl.Finish()
+	if err != nil {
+		return err
+	}
+	if v.Mismatch != nil {
+		// Remote diagnosis, no replay (see package comment above).
+		r.res.Mismatch = v.Mismatch.ToChecker()
+		return nil
+	}
+	if !prod.finished {
+		return fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
+	}
+	if !v.Finished {
+		return fmt.Errorf("cosim: server closed session %d without finishing", cl.Session())
+	}
+	r.res.Finished = true
+	r.res.TrapCode = v.TrapCode
+	return nil
+}

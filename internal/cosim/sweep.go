@@ -64,11 +64,14 @@ func RunConcurrent(ps []Params, workers int) ([]*Result, error) {
 }
 
 // ModeRow pairs the analytic (modeled) and executed results of one named
-// configuration.
+// configuration. Remote is non-nil only when the comparison ran against a
+// difftestd server (Params.RemoteAddr set): the same hardware producer
+// streaming over a real socket instead of an in-process channel.
 type ModeRow struct {
 	Config   string
 	Modeled  *Result
 	Executed *Result
+	Remote   *Result
 }
 
 // ModeComparison reports modeled-vs-executed behavior across the artifact
@@ -84,7 +87,10 @@ func ConfigNames() []string { return []string{"Z", "EB", "EBIN", "EBINSD"} }
 // analytic model and once through the executed concurrent pipeline — and
 // reports both. The modeled runs predict the speedup from the platform cost
 // model; the executed runs measure the wall-clock overlap the concurrency
-// actually achieves on this host.
+// actually achieves on this host. When p.RemoteAddr is set, each
+// configuration additionally runs a third time with the software side on the
+// difftestd server at that address, so one table compares modeled SpeedHz,
+// in-process ExecutedHz, and networked ExecutedHz.
 //
 // freshHooks, when non-nil, rebuilds the injection hooks before every run
 // and overrides p.Hooks. Bug triggers are stateful counters, so sharing one
@@ -93,6 +99,7 @@ func ConfigNames() []string { return []string{"Z", "EB", "EBIN", "EBINSD"} }
 func CompareModes(p Params, freshHooks func() arch.Hooks) (*ModeComparison, error) {
 	cmp := &ModeComparison{}
 	ablations := p.Opt
+	remoteAddr := p.RemoteAddr
 	for _, name := range ConfigNames() {
 		opt, err := ParseConfig(name)
 		if err != nil {
@@ -103,6 +110,7 @@ func CompareModes(p Params, freshHooks func() arch.Hooks) (*ModeComparison, erro
 		opt.MaxFuse = ablations.MaxFuse
 
 		p.Opt = opt
+		p.RemoteAddr = ""
 		if freshHooks != nil {
 			p.Hooks = freshHooks()
 		}
@@ -118,7 +126,17 @@ func CompareModes(p Params, freshHooks func() arch.Hooks) (*ModeComparison, erro
 		if err != nil {
 			return nil, err
 		}
-		cmp.Rows = append(cmp.Rows, ModeRow{Config: name, Modeled: modeled, Executed: executed})
+		row := ModeRow{Config: name, Modeled: modeled, Executed: executed}
+		if remoteAddr != "" {
+			p.RemoteAddr = remoteAddr
+			if freshHooks != nil {
+				p.Hooks = freshHooks()
+			}
+			if row.Remote, err = Run(p); err != nil {
+				return nil, err
+			}
+		}
+		cmp.Rows = append(cmp.Rows, row)
 	}
 	return cmp, nil
 }
@@ -139,6 +157,20 @@ func (c *ModeComparison) ExecutedSpeedup(i int) float64 {
 		return 0
 	}
 	base, row := c.Rows[0].Executed.Exec, c.Rows[i].Executed.Exec
+	if base == nil || row == nil || row.Wall <= 0 {
+		return 0
+	}
+	return base.Wall.Seconds() / row.Wall.Seconds()
+}
+
+// RemoteSpeedup returns row i's measured networked wall-clock speedup over
+// the networked baseline (row 0), or 0 when the comparison ran without a
+// difftestd server.
+func (c *ModeComparison) RemoteSpeedup(i int) float64 {
+	if len(c.Rows) == 0 || c.Rows[0].Remote == nil || c.Rows[i].Remote == nil {
+		return 0
+	}
+	base, row := c.Rows[0].Remote.Exec, c.Rows[i].Remote.Exec
 	if base == nil || row == nil || row.Wall <= 0 {
 		return 0
 	}

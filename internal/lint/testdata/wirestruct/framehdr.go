@@ -1,0 +1,67 @@
+package wirestruct
+
+import "repro/internal/event"
+
+// Hand-maintained event.WireCodec implementors (no Kind method — these model
+// transport frame headers, not registered event payloads) are held to the
+// same structural contract: fixed-size, pointer-free, and an EncodedSize
+// constant that matches the packed field layout.
+
+// FrameHdr mirrors the transport frame header: 4+1+1+2+4+8 = 20 bytes with
+// the blank padding field counted.
+type FrameHdr struct {
+	Magic  uint32
+	Type   uint8
+	Flags  uint8
+	_      [2]uint8
+	Length uint32
+	Seq    uint64
+}
+
+func (*FrameHdr) EncodedSize() int               { return 20 }
+func (*FrameHdr) AppendTo(dst []byte) []byte     { return dst }
+func (*FrameHdr) DecodeFrom([]byte) (int, error) { return 20, nil }
+
+// PointerHdr smuggles heap-shaped fields into a codec struct.
+type PointerHdr struct {
+	Payload []byte    // want `non-fixed-size type`
+	Next    *FrameHdr // want `non-fixed-size type`
+}
+
+func (*PointerHdr) EncodedSize() int               { return 0 }
+func (*PointerHdr) AppendTo(dst []byte) []byte     { return dst }
+func (*PointerHdr) DecodeFrom([]byte) (int, error) { return 0, nil }
+
+// DriftedHdr's fields are 12 bytes but EncodedSize still claims 16 — the
+// codec methods were not updated together with the struct.
+type DriftedHdr struct {
+	Magic  uint32
+	Length uint32
+	Extra  uint32
+}
+
+func (*DriftedHdr) EncodedSize() int { return 16 } // want `drifted`
+
+func (*DriftedHdr) AppendTo(dst []byte) []byte     { return dst }
+func (*DriftedHdr) DecodeFrom([]byte) (int, error) { return 16, nil }
+
+// PartialHdr implements only part of the WireCodec interface, so it is not a
+// codec struct and its fields are unconstrained.
+type PartialHdr struct {
+	Data []byte
+}
+
+func (*PartialHdr) EncodedSize() int { return 0 }
+
+// ValueHdr exercises the interface check through the value/pointer method
+// set: value receivers satisfy the pointer method set too.
+type ValueHdr struct {
+	A uint16
+	B uint16
+}
+
+func (ValueHdr) EncodedSize() int               { return 4 }
+func (ValueHdr) AppendTo(dst []byte) []byte     { return dst }
+func (ValueHdr) DecodeFrom([]byte) (int, error) { return 4, nil }
+
+var _ event.WireCodec = (*FrameHdr)(nil)

@@ -6,18 +6,24 @@ import (
 	"go/types"
 )
 
-// WireStruct verifies the structural contract every registered event payload
-// struct must satisfy for the generated zero-allocation codec to be sound:
-// the struct is fixed-size and pointer-free (no slices, maps, strings,
-// pointers, interfaces, chans, funcs, or platform-sized ints), and the size
-// computed from its field layout (encoding/binary rules: packed
-// little-endian, blank padding fields included) equals the constant its
-// generated EncodedSize method returns. A mismatch means codec_gen.go has
-// drifted from the struct definition — caught here at the type level, before
-// `go generate` or any runtime registration check runs.
+// WireStruct verifies the structural contract every wire-format struct must
+// satisfy for a zero-allocation codec to be sound: the struct is fixed-size
+// and pointer-free (no slices, maps, strings, pointers, interfaces, chans,
+// funcs, or platform-sized ints), and the size computed from its field
+// layout (encoding/binary rules: packed little-endian, blank padding fields
+// included) equals the constant its EncodedSize method returns.
+//
+// Two kinds of types are checked: registered event payloads (identified by
+// the `Kind() event.Kind` marker method), whose codecs are emitted by
+// `go generate`, and hand-maintained event.WireCodec implementors such as
+// transport frame headers. For the former, a size mismatch means
+// codec_gen.go has drifted from the struct definition; for the latter, that
+// EncodedSize/AppendTo/DecodeFrom were not updated together with the fields.
+// Either way it is caught here at the type level, before `go generate` or
+// any runtime registration check runs.
 var WireStruct = &Analyzer{
 	Name: "wirestruct",
-	Doc:  "event payload structs must be fixed-size, pointer-free, and agree with their generated EncodedSize",
+	Doc:  "wire-format structs (event payloads and WireCodec implementors) must be fixed-size, pointer-free, and agree with their EncodedSize",
 	Run:  runWireStruct,
 }
 
@@ -27,7 +33,8 @@ func runWireStruct(pass *Pass) error {
 		return nil
 	}
 	kindType := scopeType(evPkg, "Kind")
-	if kindType == nil {
+	codec := scopeIface(evPkg, "WireCodec")
+	if kindType == nil && codec == nil {
 		return nil
 	}
 
@@ -42,12 +49,27 @@ func runWireStruct(pass *Pass) error {
 			continue
 		}
 		st, ok := named.Underlying().(*types.Struct)
-		if !ok || !implementsEvent(named, kindType) {
+		if !ok {
 			continue
 		}
-		checkWireStruct(pass, tn, named, st)
+		isEvent := kindType != nil && implementsEvent(named, kindType)
+		isCodec := codec != nil && types.Implements(types.NewPointer(named), codec)
+		if !isEvent && !isCodec {
+			continue
+		}
+		checkWireStruct(pass, tn, named, st, isEvent)
 	}
 	return nil
+}
+
+// scopeIface looks up a named interface type in pkg's scope.
+func scopeIface(pkg *types.Package, name string) *types.Interface {
+	t := scopeType(pkg, name)
+	if t == nil {
+		return nil
+	}
+	iface, _ := t.Underlying().(*types.Interface)
+	return iface
 }
 
 // scopeType looks up a named type in pkg's scope.
@@ -77,7 +99,7 @@ func implementsEvent(named *types.Named, kindType types.Type) bool {
 	return false
 }
 
-func checkWireStruct(pass *Pass, tn *types.TypeName, named *types.Named, st *types.Struct) {
+func checkWireStruct(pass *Pass, tn *types.TypeName, named *types.Named, st *types.Struct, generated bool) {
 	size, ok := checkFields(pass, tn, st, tn.Name())
 	if !ok {
 		return // field problems already reported; size is meaningless
@@ -91,9 +113,15 @@ func checkWireStruct(pass *Pass, tn *types.TypeName, named *types.Named, st *typ
 		return // non-constant body already reported by encodedSizeConst
 	}
 	if got != size {
-		pass.Reportf(decl.Pos(),
-			"wire struct %s: EncodedSize returns %d but the field layout is %d bytes — codec_gen.go drifted, rerun go generate ./...",
-			tn.Name(), got, size)
+		if generated {
+			pass.Reportf(decl.Pos(),
+				"wire struct %s: EncodedSize returns %d but the field layout is %d bytes — codec_gen.go drifted, rerun go generate ./...",
+				tn.Name(), got, size)
+		} else {
+			pass.Reportf(decl.Pos(),
+				"wire struct %s: EncodedSize returns %d but the field layout is %d bytes — the codec drifted, update EncodedSize/AppendTo/DecodeFrom together with the fields",
+				tn.Name(), got, size)
+		}
 	}
 }
 

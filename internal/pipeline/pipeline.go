@@ -36,6 +36,12 @@ type Config struct {
 	QueueDepth int
 }
 
+// Drop receives every produced transfer the consumer never saw when a run
+// stops early (mismatch or error): transfers stranded in the stage queues
+// and in stage hands. Callers whose transfers own pooled resources release
+// them here — without it, an early stop leaks every in-flight buffer.
+type Drop[T any] func(t T)
+
 // Next produces the next transfer. ok=false ends the stream cleanly; a
 // non-nil error aborts the whole pipeline.
 type Next[T any] func() (t T, ok bool, err error)
@@ -55,6 +61,29 @@ type Metrics struct {
 	Transfers    uint64 // transfers forwarded by the link stage
 	Backpressure uint64 // producer sends that found the queue full
 	Stopped      bool   // the consumer aborted the stream (stop=true)
+
+	// TokenStalls counts sends that found the remote server's credit window
+	// exhausted (networked runs only; internal/transport measures it and
+	// internal/cosim copies it here after Run returns). It is the
+	// wire-level analogue of Backpressure: Backpressure measures the local
+	// in-flight queue filling up, TokenStalls the server-granted window.
+	TokenStalls uint64
+
+	// QueuePeak is the largest in-flight queue occupancy the link stage
+	// observed (non-blocking mode; always ≤ Config.QueueDepth).
+	QueuePeak int
+	// queueDepthSum accumulates per-transfer occupancy samples for
+	// MeanQueueDepth.
+	queueDepthSum uint64
+}
+
+// MeanQueueDepth returns the average in-flight queue occupancy sampled at
+// each link-stage forward — how full the bounded queue ran, 0..QueueDepth.
+func (m *Metrics) MeanQueueDepth() float64 {
+	if m.Transfers == 0 {
+		return 0
+	}
+	return float64(m.queueDepthSum) / float64(m.Transfers)
 }
 
 // Overlap returns the wall-clock time during which producer and consumer
@@ -85,8 +114,18 @@ type envelope[T any] struct {
 
 // Run drives the three-stage pipeline to completion and returns its
 // metrics. It returns the first stage error, if any; an early consumer stop
-// is not an error (Metrics.Stopped reports it).
-func Run[T any](next Next[T], sink Sink[T], cfg Config) (*Metrics, error) {
+// is not an error (Metrics.Stopped reports it). An optional Drop callback
+// receives the transfers stranded in flight by an early stop.
+func Run[T any](next Next[T], sink Sink[T], cfg Config, drop ...Drop[T]) (*Metrics, error) {
+	var dropFn Drop[T]
+	if len(drop) > 0 {
+		dropFn = drop[0]
+	}
+	discard := func(e envelope[T]) {
+		if dropFn != nil {
+			dropFn(e.t)
+		}
+	}
 	depth := cfg.QueueDepth
 	if depth < 1 {
 		depth = 1
@@ -152,6 +191,7 @@ func Run[T any](next Next[T], sink Sink[T], cfg Config) (*Metrics, error) {
 					select {
 					case chA <- e:
 					case <-stop:
+						discard(e)
 						return
 					}
 				}
@@ -159,6 +199,7 @@ func Run[T any](next Next[T], sink Sink[T], cfg Config) (*Metrics, error) {
 				select {
 				case chA <- e:
 				case <-stop:
+					discard(e)
 					return
 				}
 			}
@@ -181,9 +222,19 @@ func Run[T any](next Next[T], sink Sink[T], cfg Config) (*Metrics, error) {
 		defer close(chB)
 		for e := range chA {
 			m.Transfers++
+			// Occupancy left behind in the queue is backlog the producer
+			// built up — sampled per forward so the mean reflects how full
+			// the window ran over the whole stream.
+			if q := len(chA); true {
+				m.queueDepthSum += uint64(q)
+				if q > m.QueuePeak {
+					m.QueuePeak = q
+				}
+			}
 			select {
 			case chB <- e:
 			case <-stop:
+				discard(e)
 				return
 			}
 		}
@@ -213,6 +264,14 @@ func Run[T any](next Next[T], sink Sink[T], cfg Config) (*Metrics, error) {
 	}()
 
 	wg.Wait()
+	// Teardown drain: every stage has returned and both channels are closed,
+	// so anything still queued was produced but never consumed.
+	for e := range chA {
+		discard(e)
+	}
+	for e := range chB {
+		discard(e)
+	}
 	m.Wall = time.Since(start)
 	errMu.Lock()
 	err := firstErr

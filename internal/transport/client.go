@@ -1,0 +1,318 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/checker"
+	"repro/internal/event"
+	"repro/internal/wire"
+)
+
+// ClientConfig tunes the DUT-side endpoint.
+type ClientConfig struct {
+	// DialTimeout bounds the connect + handshake (0 = 10s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each data-frame flush (0 = DefaultWriteTimeout).
+	WriteTimeout time.Duration
+}
+
+// Client streams one DUT session to a difftestd server: data frames out
+// under the token window, credits and verdicts in on a reader goroutine.
+// Send methods are not goroutine-safe (one producer); the reader goroutine
+// is internal.
+type Client struct {
+	conn    *Conn
+	welcome Welcome
+
+	// tokens holds the credit window: one buffered slot per granted token.
+	// Send takes a token per data frame; the reader refills on Credit.
+	tokens chan struct{}
+	// stalls counts sends that found the window empty — the client-side
+	// backpressure measurement (paper §4.4's token exhaustion).
+	stalls atomic.Uint64
+
+	stopped atomic.Bool // a verdict or error arrived; stop producing
+
+	mu      sync.Mutex
+	verdict *Verdict // mismatch verdict (FrameVerdict), if any
+	final   *Verdict // FrameDone payload
+	readErr error
+
+	done chan struct{} // closed when the reader goroutine exits
+}
+
+// Dial connects to a difftestd server (spec per SplitAddr), performs the
+// handshake, and starts the credit/verdict reader.
+func Dial(spec string, hello Hello, cfg ClientConfig) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	network, addr := SplitAddr(spec)
+	nc, err := net.DialTimeout(network, addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", spec, err)
+	}
+	conn := NewConn(nc)
+	conn.WriteTimeout = cfg.WriteTimeout
+	conn.ReadTimeout = cfg.DialTimeout
+
+	hello.Proto = ProtoVersion
+	hello.WireDigest = event.FormatDigest()
+	if err := conn.WriteFrame(FrameHello, encodeJSON(&hello)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake send: %w", err)
+	}
+	h, payload, err := conn.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake read: %w", err)
+	}
+	defer releaseBuf(payload)
+	switch h.Type {
+	case FrameWelcome:
+	case FrameError:
+		var ei ErrorInfo
+		if jerr := decodeJSON(h.Type, payload, &ei); jerr != nil {
+			conn.Close()
+			return nil, jerr
+		}
+		conn.Close()
+		return nil, &ei
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake: unexpected frame type %d", h.Type)
+	}
+	var w Welcome
+	if err := decodeJSON(h.Type, payload, &w); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if w.Tokens <= 0 {
+		conn.Close()
+		return nil, fmt.Errorf("transport: server granted a %d-token window", w.Tokens)
+	}
+
+	c := &Client{
+		conn:    conn,
+		welcome: w,
+		tokens:  make(chan struct{}, w.Tokens),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < w.Tokens; i++ {
+		c.tokens <- struct{}{}
+	}
+	conn.ReadTimeout = 0 // the reader blocks until the server speaks or EOF
+	go c.readLoop()
+	return c, nil
+}
+
+// Session reports the server-assigned session id.
+func (c *Client) Session() uint64 { return c.welcome.Session }
+
+// Window reports the granted token window.
+func (c *Client) Window() int { return c.welcome.Tokens }
+
+// Stalls reports how many sends found the token window exhausted.
+func (c *Client) Stalls() uint64 { return c.stalls.Load() }
+
+// readLoop drains server frames: credits refill the window, a verdict stops
+// production, Done finishes the session.
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		h, payload, err := c.conn.ReadFrame()
+		if err != nil {
+			c.fail(fmt.Errorf("transport: server connection: %w", err))
+			return
+		}
+		switch h.Type {
+		case FrameCredit:
+			var cr Credit
+			err := decodeJSON(h.Type, payload, &cr)
+			releaseBuf(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			for i := 0; i < cr.Tokens; i++ {
+				select {
+				case c.tokens <- struct{}{}:
+				default: // over-credit; the window cap is authoritative
+				}
+			}
+		case FrameVerdict:
+			var v Verdict
+			err := decodeJSON(h.Type, payload, &v)
+			releaseBuf(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			c.verdict = &v
+			c.mu.Unlock()
+			c.stopped.Store(true)
+		case FrameDone:
+			var v Verdict
+			err := decodeJSON(h.Type, payload, &v)
+			releaseBuf(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			c.final = &v
+			c.mu.Unlock()
+			c.stopped.Store(true)
+			return
+		case FrameError:
+			var ei ErrorInfo
+			err := decodeJSON(h.Type, payload, &ei)
+			releaseBuf(payload)
+			if err != nil {
+				c.fail(err)
+			} else {
+				c.fail(&ei)
+			}
+			return
+		default:
+			releaseBuf(payload)
+			c.fail(fmt.Errorf("transport: unexpected server frame type %d", h.Type))
+			return
+		}
+	}
+}
+
+// fail records the first reader error and unblocks producers.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.mu.Unlock()
+	c.stopped.Store(true)
+}
+
+func (c *Client) firstErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+// take acquires one window token, counting a stall when the window is dry —
+// this is where networked backpressure is measured. Returns false when the
+// session stopped (verdict or error) instead of blocking forever.
+func (c *Client) take() bool {
+	select {
+	case <-c.tokens:
+		return true
+	default:
+	}
+	c.stalls.Add(1)
+	// Blocking here cannot deadlock: every in-flight frame's token comes
+	// back as a credit once the server consumes it, and a dead connection
+	// ends the reader, which closes done.
+	select {
+	case <-c.tokens:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// SendPacket streams one batch-packed packet (its used bytes only) and
+// releases the packet's pooled buffer — the client-side mirror of the
+// in-process transfer where the unpacker's arena copy frees the packet.
+// stop=true means a verdict arrived and production should cease.
+func (c *Client) SendPacket(pkt batch.Packet) (stop bool, err error) {
+	defer pkt.Release()
+	if c.stopped.Load() || !c.take() {
+		return true, c.firstErr()
+	}
+	if err := c.conn.WriteFrame(FramePacket, pkt.Buf[:pkt.Used]); err != nil {
+		return true, fmt.Errorf("transport: packet send: %w", err)
+	}
+	return c.stopped.Load(), c.firstErr()
+}
+
+// SendItems streams bare wire items (the per-event baseline). The encode
+// scratch is pooled, so steady-state sends allocate nothing.
+func (c *Client) SendItems(items []wire.Item) (stop bool, err error) {
+	if c.stopped.Load() || !c.take() {
+		return true, c.firstErr()
+	}
+	// ItemsSize pre-sizes the scratch exactly, so AppendItems stays within
+	// capacity and enc aliases scratch's backing array.
+	scratch := event.GetBuf(ItemsSize(items))
+	enc, err := AppendItems(scratch, items)
+	if err != nil {
+		event.PutBuf(scratch)
+		return true, err
+	}
+	err = c.conn.WriteFrame(FrameItems, enc)
+	event.PutBuf(scratch)
+	if err != nil {
+		return true, fmt.Errorf("transport: items send: %w", err)
+	}
+	return c.stopped.Load(), c.firstErr()
+}
+
+// Finish ends the stream: sends FrameEnd, waits for the server's Done, and
+// returns the final verdict (which carries any mismatch diagnosis).
+func (c *Client) Finish() (Verdict, error) {
+	if err := c.conn.WriteFrame(FrameEnd, nil); err != nil {
+		// The server may already have closed after an error frame; surface
+		// the recorded reader error first.
+		<-c.done
+		if rerr := c.firstErr(); rerr != nil {
+			return Verdict{}, rerr
+		}
+		return Verdict{}, fmt.Errorf("transport: end send: %w", err)
+	}
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.final != nil {
+		return *c.final, nil
+	}
+	if c.readErr != nil {
+		return Verdict{}, c.readErr
+	}
+	return Verdict{}, errors.New("transport: session closed without a Done frame")
+}
+
+// Verdict returns the early mismatch verdict, if one has arrived.
+func (c *Client) Verdict() *Verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verdict
+}
+
+// Mismatch reconstructs the checker diagnosis from the most recent verdict.
+func (c *Client) Mismatch() *checker.Mismatch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.final != nil && c.final.Mismatch != nil:
+		return c.final.Mismatch.ToChecker()
+	case c.verdict != nil:
+		return c.verdict.Mismatch.ToChecker()
+	}
+	return nil
+}
+
+// Close tears the connection down; safe after Finish.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+)
+
+// Conn frames a net.Conn: length-prefixed writes with a write deadline,
+// header-validated reads into pooled buffers with a read deadline. Reads and
+// writes are independently goroutine-safe (one reader, one writer is the
+// intended shape; concurrent writers serialize on a mutex).
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	writeMu  sync.Mutex
+	bw       *bufio.Writer
+	writeSeq uint64
+	scratch  []byte // header + small-payload staging, reused across writes
+
+	readSeq   uint64
+	readArmed bool // a read deadline is set and must be cleared if ReadTimeout drops to 0
+
+	// ReadTimeout bounds one blocking ReadFrame (0 = no deadline); the
+	// server uses it as the idle-session reaping horizon. WriteTimeout
+	// bounds one WriteFrame flush.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+// NewConn wraps an established network connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		c:       c,
+		br:      bufio.NewReaderSize(c, 64<<10),
+		bw:      bufio.NewWriterSize(c, 64<<10),
+		scratch: make([]byte, 0, FrameHeaderSize),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// SetDeadlineNow interrupts any blocked read or write; used by the server's
+// forced-drain path.
+func (c *Conn) SetDeadlineNow() { c.c.SetDeadline(time.Now()) }
+
+// RemoteAddr reports the peer address for logging.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// WriteFrame sends one frame. The payload is not retained.
+func (c *Conn) WriteFrame(typ uint8, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.WriteTimeout > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
+			return err
+		}
+	}
+	h := FrameHeader{Magic: FrameMagic, Type: typ, Length: uint32(len(payload)), Seq: c.writeSeq}
+	c.writeSeq++
+	c.scratch = h.AppendTo(c.scratch[:0])
+	if _, err := c.bw.Write(c.scratch); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadFrame reads one frame. The returned payload is a pooled buffer
+// (event.GetBuf) that ownership-transfers to the caller: release it with
+// event.PutBuf once consumed, so the pool's get/put balance holds across a
+// session. A zero-length payload returns nil and needs no release.
+func (c *Conn) ReadFrame() (FrameHeader, []byte, error) {
+	var h FrameHeader
+	if c.ReadTimeout > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(c.ReadTimeout)); err != nil {
+			return h, nil, err
+		}
+		c.readArmed = true
+	} else if c.readArmed {
+		// The deadline a previous phase armed (e.g. the dial handshake) would
+		// otherwise keep ticking and kill a deliberately unbounded read.
+		if err := c.c.SetReadDeadline(time.Time{}); err != nil {
+			return h, nil, err
+		}
+		c.readArmed = false
+	}
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return h, nil, err
+	}
+	if _, err := h.DecodeFrom(hdr[:]); err != nil {
+		return h, nil, err
+	}
+	if h.Seq != c.readSeq {
+		return h, nil, fmt.Errorf("transport: frame sequence jumped from %d to %d", c.readSeq, h.Seq)
+	}
+	c.readSeq++
+	if h.Length == 0 {
+		return h, nil, nil
+	}
+	buf := event.GetBuf(int(h.Length))[:h.Length]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		event.PutBuf(buf)
+		return h, nil, err
+	}
+	return h, buf, nil
+}
+
+// SplitAddr resolves an address spec into (network, address): "unix:<path>"
+// selects a Unix-domain socket, anything else is "host:port" TCP.
+func SplitAddr(spec string) (network, addr string) {
+	if path, ok := strings.CutPrefix(spec, "unix:"); ok {
+		return "unix", path
+	}
+	return "tcp", spec
+}
+
+// Listen opens a listener for an address spec (see SplitAddr).
+func Listen(spec string) (net.Listener, error) {
+	network, addr := SplitAddr(spec)
+	return net.Listen(network, addr)
+}

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/checker"
+	"repro/internal/event"
+)
+
+// Hello is the client's session request: everything the server needs to
+// rebuild the matching software side — the DUT and workload (by name, with
+// the generation seed, so both ends derive the identical program image), the
+// optimization configuration, and the wire-format digest that proves both
+// binaries speak the same generated codec.
+type Hello struct {
+	Proto      uint16 `json:"proto"`
+	WireDigest uint64 `json:"wire_digest"`
+
+	DUT      string `json:"dut"`
+	Platform string `json:"platform"`
+	Config   string `json:"config"` // Z, EB, EBIN, EBINSD
+
+	// Ablation switches riding on the named config.
+	CoupleOrder bool `json:"couple_order,omitempty"`
+	FixedOffset bool `json:"fixed_offset,omitempty"`
+	MaxFuse     int  `json:"max_fuse,omitempty"`
+
+	Workload     string `json:"workload"`
+	TargetInstrs uint64 `json:"target_instrs"`
+	Seed         int64  `json:"seed"`
+}
+
+// Welcome is the server's session grant: the negotiated protocol, the
+// server's wire digest (echoed so the client can diagnose a drift in either
+// direction), the session id, and the initial token window.
+type Welcome struct {
+	Proto      uint16 `json:"proto"`
+	WireDigest uint64 `json:"wire_digest"`
+	Session    uint64 `json:"session"`
+	Tokens     int    `json:"tokens"`
+}
+
+// Credit returns tokens to the client's window.
+type Credit struct {
+	Tokens int `json:"tokens"`
+}
+
+// MismatchReport is the typed mismatch-report payload: the checker's full
+// diagnosis, serialized field-for-field so the client reconstructs the exact
+// checker.Mismatch an in-process run would have produced.
+type MismatchReport struct {
+	Core   uint8  `json:"core"`
+	Seq    uint64 `json:"seq"`
+	Kind   uint8  `json:"kind"`
+	PC     uint64 `json:"pc"`
+	Detail string `json:"detail"`
+	Fused  bool   `json:"fused,omitempty"`
+}
+
+// NewMismatchReport converts a checker diagnosis for the wire.
+func NewMismatchReport(m *checker.Mismatch) *MismatchReport {
+	if m == nil {
+		return nil
+	}
+	return &MismatchReport{Core: m.Core, Seq: m.Seq, Kind: uint8(m.Kind),
+		PC: m.PC, Detail: m.Detail, Fused: m.Fused}
+}
+
+// ToChecker reconstructs the checker diagnosis.
+func (r *MismatchReport) ToChecker() *checker.Mismatch {
+	if r == nil {
+		return nil
+	}
+	return &checker.Mismatch{Core: r.Core, Seq: r.Seq, Kind: event.Kind(r.Kind),
+		PC: r.PC, Detail: r.Detail, Fused: r.Fused}
+}
+
+// Verdict is the server's checking outcome, sent in a FrameVerdict as soon
+// as a mismatch is diagnosed and in the FrameDone that closes every session.
+type Verdict struct {
+	Mismatch *MismatchReport `json:"mismatch,omitempty"`
+	Finished bool            `json:"finished"`
+	TrapCode uint64          `json:"trap_code,omitempty"`
+	Events   uint64          `json:"events,omitempty"` // items checked server-side
+}
+
+// ErrorInfo is the FrameError payload.
+type ErrorInfo struct {
+	Code string `json:"code"` // "handshake", "decode", "idle", "overloaded", "internal"
+	Msg  string `json:"msg"`
+}
+
+// Error implements error so a surfaced ErrorInfo reads naturally.
+func (e *ErrorInfo) Error() string {
+	return fmt.Sprintf("transport: server error (%s): %s", e.Code, e.Msg)
+}
+
+// encodeJSON marshals a control payload; control frames are tiny and rare,
+// so the allocation is irrelevant.
+func encodeJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All control payloads are plain structs; a marshal failure is a
+		// programming error.
+		panic(fmt.Sprintf("transport: encoding control frame: %v", err))
+	}
+	return b
+}
+
+// decodeJSON unmarshals a control payload with frame-type context.
+func decodeJSON(typ uint8, buf []byte, v any) error {
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("transport: corrupt control frame (type %d): %w", typ, err)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/wire"
+)
+
+// FrameItems payload layout: a 2-byte item count, then per item a 5-byte
+// prelude (type, core, slot, 2-byte payload length) followed by the payload
+// bytes. The per-event baseline config sends one item per frame, but the
+// encoding supports batches so flushed tails travel in one frame.
+const (
+	itemsCountSize   = 2
+	itemPreludeSize  = 5
+	maxItemsPerFrame = 1 << 15
+)
+
+// AppendItems appends the FrameItems encoding of items to dst and returns
+// the extended slice. Pair with a pooled buffer (event.GetBuf) on the send
+// path so steady-state encoding allocates nothing.
+func AppendItems(dst []byte, items []wire.Item) ([]byte, error) {
+	if len(items) > maxItemsPerFrame {
+		return dst, fmt.Errorf("transport: %d items exceed the per-frame limit %d", len(items), maxItemsPerFrame)
+	}
+	var b [itemPreludeSize]byte
+	binary.LittleEndian.PutUint16(b[0:], uint16(len(items)))
+	dst = append(dst, b[:itemsCountSize]...)
+	for _, it := range items {
+		if len(it.Payload) > 0xffff {
+			return dst, fmt.Errorf("transport: item payload %dB exceeds the 64KiB frame item limit", len(it.Payload))
+		}
+		b[0], b[1], b[2] = it.Type, it.Core, it.Slot
+		binary.LittleEndian.PutUint16(b[3:], uint16(len(it.Payload)))
+		dst = append(dst, b[:]...)
+		dst = append(dst, it.Payload...)
+	}
+	return dst, nil
+}
+
+// ItemsSize returns the encoded FrameItems payload size for items.
+func ItemsSize(items []wire.Item) int {
+	n := itemsCountSize
+	for _, it := range items {
+		n += itemPreludeSize + len(it.Payload)
+	}
+	return n
+}
+
+// DecodeItems parses a FrameItems payload. Item payloads are copied out of
+// buf into one arena allocation, so the caller may release buf back to the
+// buffer pool as soon as DecodeItems returns — the same contract as
+// batch.Unpacker.AddPacket.
+func DecodeItems(buf []byte) ([]wire.Item, error) {
+	if len(buf) < itemsCountSize {
+		return nil, fmt.Errorf("transport: items frame shorter than its count field")
+	}
+	count := int(binary.LittleEndian.Uint16(buf[0:]))
+	pos := itemsCountSize
+	if need := count * itemPreludeSize; len(buf)-pos < need {
+		return nil, fmt.Errorf("transport: items frame truncated (%d items announced, %d bytes left)", count, len(buf)-pos)
+	}
+	arena := make([]byte, 0, len(buf)-pos-count*itemPreludeSize)
+	items := make([]wire.Item, 0, count)
+	for i := 0; i < count; i++ {
+		if len(buf)-pos < itemPreludeSize {
+			return nil, fmt.Errorf("transport: item %d/%d prelude overruns frame", i, count)
+		}
+		typ, core, slot := buf[pos], buf[pos+1], buf[pos+2]
+		n := int(binary.LittleEndian.Uint16(buf[pos+3:]))
+		pos += itemPreludeSize
+		if len(buf)-pos < n {
+			if k, ok := (wire.Item{Type: typ}).Kind(); ok {
+				return nil, fmt.Errorf("transport: item %d/%d: %w", i, count,
+					&event.DecodeError{Kind: k, Len: len(buf) - pos, Err: event.ErrShortPayload})
+			}
+			return nil, fmt.Errorf("transport: item %d/%d payload overruns frame", i, count)
+		}
+		start := len(arena)
+		arena = append(arena, buf[pos:pos+n]...)
+		items = append(items, wire.Item{
+			Type: typ, Core: core, Slot: slot,
+			Payload: arena[start:len(arena):len(arena)],
+		})
+		pos += n
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("transport: %d trailing bytes after %d items", len(buf)-pos, count)
+	}
+	return items, nil
+}

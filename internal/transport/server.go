@@ -1,0 +1,390 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/event"
+	"repro/internal/wire"
+)
+
+// Final is a session's end-of-stream outcome.
+type Final struct {
+	Mismatch *checker.Mismatch
+	TrapCode uint64
+}
+
+// SessionChecker is the software side of one DUT session: unpacking plus
+// REF+checker, owned entirely by that session (no state is shared between
+// concurrent sessions). internal/cosim provides the production
+// implementation; the split keeps transport free of a cosim dependency.
+type SessionChecker interface {
+	// Packet consumes one batch-packed packet. buf is a pooled buffer owned
+	// by the caller; implementations must copy what they keep (the batch
+	// unpacker's arena discipline) and must not retain buf.
+	Packet(buf []byte) (*checker.Mismatch, error)
+	// Items consumes bare wire items (the per-event baseline).
+	Items(items []wire.Item) (*checker.Mismatch, error)
+	// Finish flushes held-back state (unpacker tail, reorderer) and reports
+	// the final verdict.
+	Finish() (Final, error)
+	// Events reports how many items were checked (session accounting).
+	Events() uint64
+}
+
+// NewSessionFunc builds the software side for one accepted handshake. An
+// error rejects the session with a FrameError.
+type NewSessionFunc func(Hello) (SessionChecker, error)
+
+// ServerConfig tunes difftestd's session handling.
+type ServerConfig struct {
+	// NewSession builds a per-session checker (required).
+	NewSession NewSessionFunc
+
+	// Window is the token window granted per session: the maximum data
+	// frames a client may have in flight (0 = DefaultWindow).
+	Window int
+	// IdleTimeout reaps sessions with no inbound frame for this long
+	// (0 = DefaultIdleTimeout).
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the Hello frame
+	// (0 = DefaultHandshakeTimeout).
+	HandshakeTimeout time.Duration
+	// WriteTimeout bounds each outbound frame flush (0 = DefaultWriteTimeout).
+	WriteTimeout time.Duration
+	// MaxSessions caps concurrent sessions; excess connects are refused
+	// with an "overloaded" FrameError (0 = unlimited).
+	MaxSessions int
+	// Logf, when set, receives one line per session lifecycle step.
+	Logf func(format string, args ...any)
+}
+
+// Server defaults.
+const (
+	DefaultWindow           = 16
+	DefaultIdleTimeout      = 30 * time.Second
+	DefaultHandshakeTimeout = 5 * time.Second
+	DefaultWriteTimeout     = 10 * time.Second
+)
+
+// Server accepts concurrent DUT sessions, each with its own REF+checker.
+type Server struct {
+	cfg ServerConfig
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*Conn]struct{}
+	draining  bool
+
+	wg         sync.WaitGroup
+	nextID     atomic.Uint64
+	active     atomic.Int64
+	served     atomic.Uint64
+	mismatches atomic.Uint64
+	reaped     atomic.Uint64
+}
+
+// NewServer builds a server; cfg.NewSession is required.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.NewSession == nil {
+		panic("transport: ServerConfig.NewSession is required")
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	return &Server{
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*Conn]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ActiveSessions reports the number of sessions currently being served.
+func (s *Server) ActiveSessions() int { return int(s.active.Load()) }
+
+// Stats reports lifetime counters: sessions served to completion, mismatch
+// verdicts delivered, and idle sessions reaped.
+func (s *Server) Stats() (served, mismatches, reaped uint64) {
+	return s.served.Load(), s.mismatches.Load(), s.reaped.Load()
+}
+
+// Serve accepts sessions on l until the listener closes (Shutdown). Each
+// session runs on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("transport: server is shut down")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			delete(s.listeners, l)
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		conn := NewConn(nc)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveSession(conn)
+		}()
+	}
+}
+
+// Shutdown gracefully drains the server: listeners close immediately (no new
+// sessions), active sessions run to their natural end, and when ctx expires
+// the remaining connections are forced closed. Returns ctx.Err() when the
+// drain was forced.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.SetDeadlineNow()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// refuse sends a FrameError and gives up on the session.
+func (s *Server) refuse(conn *Conn, code, msg string) {
+	s.logf("session refused (%s): %s", code, msg)
+	conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{Code: code, Msg: msg}))
+}
+
+// serveSession runs one session end to end: handshake, token-window
+// streaming, verdict delivery.
+func (s *Server) serveSession(conn *Conn) {
+	conn.WriteTimeout = s.cfg.WriteTimeout
+	conn.ReadTimeout = s.cfg.HandshakeTimeout
+
+	h, payload, err := conn.ReadFrame()
+	if err != nil {
+		s.logf("session from %s: handshake read: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if h.Type != FrameHello {
+		releaseBuf(payload)
+		s.refuse(conn, "handshake", fmt.Sprintf("expected Hello, got frame type %d", h.Type))
+		return
+	}
+	var hello Hello
+	err = decodeJSON(h.Type, payload, &hello)
+	releaseBuf(payload)
+	if err != nil {
+		s.refuse(conn, "handshake", err.Error())
+		return
+	}
+	if hello.Proto != ProtoVersion {
+		s.refuse(conn, "handshake", fmt.Sprintf("protocol version %d (server speaks %d)", hello.Proto, ProtoVersion))
+		return
+	}
+	if d := event.FormatDigest(); hello.WireDigest != d {
+		s.refuse(conn, "handshake", fmt.Sprintf(
+			"wire-format digest %#x != server %#x — client and server built from different codec revisions, rerun go generate ./...",
+			hello.WireDigest, d))
+		return
+	}
+	if s.cfg.MaxSessions > 0 && int(s.active.Load()) >= s.cfg.MaxSessions {
+		s.refuse(conn, "overloaded", fmt.Sprintf("at capacity (%d sessions)", s.cfg.MaxSessions))
+		return
+	}
+	sess, err := s.cfg.NewSession(hello)
+	if err != nil {
+		s.refuse(conn, "handshake", err.Error())
+		return
+	}
+
+	id := s.nextID.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.logf("session %d: %s/%s/%s %s instrs=%d seed=%d from %s",
+		id, hello.DUT, hello.Platform, hello.Config, hello.Workload,
+		hello.TargetInstrs, hello.Seed, conn.RemoteAddr())
+
+	if err := conn.WriteFrame(FrameWelcome, encodeJSON(&Welcome{
+		Proto: ProtoVersion, WireDigest: event.FormatDigest(),
+		Session: id, Tokens: s.cfg.Window,
+	})); err != nil {
+		s.logf("session %d: welcome write: %v", id, err)
+		return
+	}
+
+	conn.ReadTimeout = s.cfg.IdleTimeout
+	s.runSession(conn, id, sess)
+}
+
+// runSession is the per-session data loop. Every inbound data frame costs
+// the client a token; the credit returning it is sent only after the frame's
+// pooled buffer has been consumed and released, so the window also bounds
+// the server's buffered bytes.
+func (s *Server) runSession(conn *Conn, id uint64, sess SessionChecker) {
+	var verdict *checker.Mismatch
+	for {
+		h, payload, err := conn.ReadFrame()
+		if err != nil {
+			if isTimeout(err) {
+				s.reaped.Add(1)
+				s.logf("session %d: idle for %v, reaping", id, s.cfg.IdleTimeout)
+				conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{
+					Code: "idle", Msg: fmt.Sprintf("no frame for %v", s.cfg.IdleTimeout)}))
+				return
+			}
+			s.logf("session %d: read: %v", id, err)
+			return
+		}
+		switch h.Type {
+		case FramePacket, FrameItems:
+			m, err := s.consume(sess, h.Type, payload, verdict != nil)
+			releaseBuf(payload)
+			if err != nil {
+				s.logf("session %d: decode: %v", id, err)
+				conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{Code: "decode", Msg: err.Error()}))
+				return
+			}
+			// The frame is consumed: return its token before the verdict so
+			// a stopped client never deadlocks holding zero tokens.
+			if err := conn.WriteFrame(FrameCredit, encodeJSON(&Credit{Tokens: 1})); err != nil {
+				s.logf("session %d: credit write: %v", id, err)
+				return
+			}
+			if m != nil && verdict == nil {
+				verdict = m
+				s.mismatches.Add(1)
+				s.logf("session %d: mismatch: %v", id, m)
+				if err := conn.WriteFrame(FrameVerdict, encodeJSON(&Verdict{
+					Mismatch: NewMismatchReport(m), Events: sess.Events(),
+				})); err != nil {
+					s.logf("session %d: verdict write: %v", id, err)
+					return
+				}
+			}
+		case FrameEnd:
+			releaseBuf(payload)
+			v := Verdict{Mismatch: NewMismatchReport(verdict), Events: sess.Events()}
+			if verdict == nil {
+				fin, err := sess.Finish()
+				if err != nil {
+					s.logf("session %d: finish: %v", id, err)
+					conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{Code: "internal", Msg: err.Error()}))
+					return
+				}
+				if fin.Mismatch != nil {
+					s.mismatches.Add(1)
+					v.Mismatch = NewMismatchReport(fin.Mismatch)
+				} else {
+					v.Finished = true
+					v.TrapCode = fin.TrapCode
+				}
+				v.Events = sess.Events()
+			}
+			s.served.Add(1)
+			if err := conn.WriteFrame(FrameDone, encodeJSON(&v)); err != nil {
+				s.logf("session %d: done write: %v", id, err)
+			}
+			s.logf("session %d: done (finished=%v mismatch=%v, %d events)",
+				id, v.Finished, v.Mismatch != nil, v.Events)
+			return
+		default:
+			releaseBuf(payload)
+			s.logf("session %d: unexpected frame type %d", id, h.Type)
+			conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{
+				Code: "decode", Msg: fmt.Sprintf("unexpected frame type %d", h.Type)}))
+			return
+		}
+	}
+}
+
+// consume feeds one data frame to the session checker. After a verdict the
+// stream is no longer checked — the client's in-flight window still drains
+// through here so every pooled buffer is read and released.
+func (s *Server) consume(sess SessionChecker, typ uint8, payload []byte, stopped bool) (*checker.Mismatch, error) {
+	if stopped {
+		return nil, nil
+	}
+	switch typ {
+	case FramePacket:
+		return sess.Packet(payload)
+	default: // FrameItems
+		items, err := DecodeItems(payload)
+		if err != nil {
+			return nil, err
+		}
+		return sess.Items(items)
+	}
+}
+
+// releaseBuf returns a frame payload to the buffer pool; nil (zero-length
+// frame) needs no release.
+func releaseBuf(buf []byte) {
+	if buf != nil {
+		event.PutBuf(buf)
+	}
+}
+
+// isTimeout reports whether err is a network deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
