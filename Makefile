@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke integration ci
+.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke integration cover ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,8 @@ bench-codec:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzCodecRoundTrip -fuzztime=10s -run='^$$' ./internal/event
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run='^$$' ./internal/transport
+	$(GO) test -fuzz=FuzzResumeFrame -fuzztime=10s -run='^$$' ./internal/transport
+	$(GO) test -fuzz=FuzzFaultedFrameStream -fuzztime=10s -run='^$$' ./internal/transport
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
@@ -60,8 +62,18 @@ bench-smoke:
 # Networked loopback gate: a real difftestd-equivalent server on a Unix
 # socket, concurrent sessions (one injected-bug mismatching, one clean, plus
 # a 5-session fan-in), token-window stalls, cancellation — all under -race,
-# with the buffer pool balanced across both ends of the wire.
+# with the buffer pool balanced across both ends of the wire. The fault
+# matrix crosses every faultnet fault with clean and bugged workloads and
+# gates on verdict equivalence with the in-process checker; TestDegraded
+# pins graceful degradation when the retry budget runs out.
 integration:
-	$(GO) test -race -count=1 -run='TestLoopback|TestRemoteCancellation' -v ./internal/cosim
+	$(GO) test -race -count=1 -run='TestLoopback|TestRemoteCancellation|TestFaultMatrix|TestDegraded' -v ./internal/cosim
 
-ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke integration
+# Per-package statement coverage with a floor on the packages that carry the
+# fault-injection and resume machinery: a change that quietly drops their
+# tests fails here, not in review. Floors live in scripts/coverfloor.sh;
+# baselines are recorded in DESIGN.md.
+cover:
+	./scripts/coverfloor.sh
+
+ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke cover integration

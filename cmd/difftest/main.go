@@ -31,6 +31,7 @@ import (
 	"repro/internal/dut"
 	"repro/internal/platform"
 	"repro/internal/stats"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -48,6 +49,16 @@ func main() {
 			"run every configuration through both the analytic model and the executed concurrent pipeline and report speedup deltas")
 		remote = flag.String("remote", "",
 			"stream the hardware side to a difftestd server at this address (host:port or unix:<path>); with -executed, adds a networked column to the comparison")
+		resume = flag.Bool("resume", false,
+			"with -remote: resume the session over reconnects instead of failing on the first connection loss (needs difftestd -resume-window)")
+		retries = flag.Int("retries", 0,
+			"with -remote -resume: reconnect attempts per disconnect before degrading to in-process checking (0 = transport default)")
+		backoff = flag.Duration("backoff", 0,
+			"with -remote -resume: first reconnect delay, doubled per retry and jittered ±50% (0 = transport default)")
+		backoffMax = flag.Duration("backoff-max", 0,
+			"with -remote -resume: cap on the reconnect delay (0 = transport default)")
+		stall = flag.Duration("stall", 0,
+			"with -remote: declare a silently hung connection dead after this long without progress (0 = wait forever)")
 		verbose = flag.Bool("v", false, "print communication counters")
 		list    = flag.Bool("list", false, "list DUTs, workloads, and bugs")
 	)
@@ -85,10 +96,18 @@ func main() {
 		fmt.Printf("injecting %s (%s): %s\n", b.ID, b.PR, b.Description)
 	}
 
+	remoteCfg := transport.ClientConfig{
+		Resume:       *resume,
+		MaxRetries:   *retries,
+		BackoffBase:  *backoff,
+		BackoffMax:   *backoffMax,
+		StallTimeout: *stall,
+	}
+
 	if *executed {
 		cmp, err := cosim.CompareModes(cosim.Params{
 			DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed, Hooks: hooks,
-			Ctx: ctx, RemoteAddr: *remote,
+			Ctx: ctx, RemoteAddr: *remote, RemoteCfg: remoteCfg,
 		}, freshHooks)
 		exitOn(err)
 		printComparison(cmp)
@@ -103,7 +122,7 @@ func main() {
 
 	res, err := cosim.Run(cosim.Params{
 		DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed, Hooks: hooks,
-		Ctx: ctx, RemoteAddr: *remote,
+		Ctx: ctx, RemoteAddr: *remote, RemoteCfg: remoteCfg,
 	})
 	exitOn(err)
 
@@ -130,6 +149,10 @@ func main() {
 	if *remote != "" && res.Exec != nil {
 		fmt.Printf("remote: wall %s, backpressure %d, token stalls %d\n",
 			res.Exec.Wall.Round(time.Microsecond), res.Exec.Backpressure, res.Exec.TokenStalls)
+		if res.Exec.Reconnects > 0 || res.Exec.ReplayedFrames > 0 || res.Degraded {
+			fmt.Printf("remote link: %d reconnect(s), %d replayed frame(s), degraded=%v\n",
+				res.Exec.Reconnects, res.Exec.ReplayedFrames, res.Degraded)
+		}
 	}
 	if res.Mismatch != nil {
 		os.Exit(2)
@@ -183,6 +206,7 @@ func printComparison(cmp *cosim.ModeComparison) {
 	}
 	header = append(header, "Verdict")
 	var rows [][]string
+	anyDegraded := false
 	for i, row := range cmp.Rows {
 		ex := row.Executed.Exec
 		verdict := "clean"
@@ -200,11 +224,15 @@ func printComparison(cmp *cosim.ModeComparison) {
 		}
 		if remote {
 			rx := row.Remote.Exec
-			cells = append(cells,
-				rx.Wall.Round(time.Microsecond).String(),
-				fmt.Sprintf("%.2fx", cmp.RemoteSpeedup(i)),
-				fmt.Sprint(rx.TokenStalls),
-			)
+			wall := rx.Wall.Round(time.Microsecond).String()
+			speedup := fmt.Sprintf("%.2fx", cmp.RemoteSpeedup(i))
+			if row.Remote.Degraded {
+				// The session outlived its retry budget; the verdict comes
+				// from the in-process rerun, so no networked numbers exist.
+				wall, speedup = "degraded", "-"
+				anyDegraded = true
+			}
+			cells = append(cells, wall, speedup, fmt.Sprint(rx.TokenStalls))
 			if row.Remote.Mismatch != nil {
 				verdict = "mismatch"
 			}
@@ -216,6 +244,10 @@ func printComparison(cmp *cosim.ModeComparison) {
 	fmt.Println("      executed speedups are measured wall clock and depend on host cores")
 	if remote {
 		fmt.Println("      remote speedups include real socket framing and the server's token window")
+	}
+	if anyDegraded {
+		fmt.Println("      'degraded' rows lost their difftestd session beyond the retry budget;")
+		fmt.Println("      their verdicts come from the in-process rerun and are still authoritative")
 	}
 }
 

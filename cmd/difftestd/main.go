@@ -40,6 +40,8 @@ func main() {
 			"reap sessions with no inbound frame for this long")
 		maxSessions = flag.Int("max-sessions", 0,
 			"cap concurrent sessions (0 = unlimited)")
+		resumeWindow = flag.Duration("resume-window", 0,
+			"park broken sessions this long for client resume (0 = resume disabled)")
 		grace = flag.Duration("grace", 10*time.Second,
 			"how long to let in-flight sessions finish on SIGINT/SIGTERM")
 		verbose = flag.Bool("v", false, "log per-session lifecycle events")
@@ -48,10 +50,11 @@ func main() {
 
 	logger := log.New(os.Stderr, "difftestd: ", log.LstdFlags)
 	cfg := transport.ServerConfig{
-		NewSession:  cosim.NewSession,
-		Window:      *tokens,
-		IdleTimeout: *idle,
-		MaxSessions: *maxSessions,
+		NewSession:   cosim.NewSession,
+		Window:       *tokens,
+		IdleTimeout:  *idle,
+		MaxSessions:  *maxSessions,
+		ResumeWindow: *resumeWindow,
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf
@@ -62,8 +65,8 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	logger.Printf("listening on %s (window %d, idle %v, wire digest %#x)",
-		l.Addr(), *tokens, *idle, event.FormatDigest())
+	logger.Printf("listening on %s (window %d, idle %v, resume window %v, wire digest %#x)",
+		l.Addr(), *tokens, *idle, *resumeWindow, event.FormatDigest())
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -86,8 +89,12 @@ func main() {
 	}
 
 	served, mismatches, reaped := srv.Stats()
+	parked, resumed := srv.ResumeStats()
 	gets, puts := event.PoolStats()
 	logger.Printf("served %d session(s), %d mismatch verdict(s), %d reaped idle", served, mismatches, reaped)
+	if *resumeWindow > 0 {
+		logger.Printf("resume: %d session(s) parked, %d resume(s) served", parked, resumed)
+	}
 	logger.Printf("buffer pool: %d gets, %d puts, %d leaked", gets, puts, gets-puts)
 	if gets != puts {
 		fmt.Fprintln(os.Stderr, "difftestd: pooled buffers leaked")

@@ -14,6 +14,7 @@ package cosim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/replay"
 	"repro/internal/squash"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -102,6 +104,11 @@ type Params struct {
 	// instead of checking in-process. Remote runs are always executed
 	// (concurrent pipeline); Result.Exec reports the networked wall clock.
 	RemoteAddr string
+	// RemoteCfg tunes the networked client for RemoteAddr runs: session
+	// resume, reconnect budget, backoff, stall detection. The zero value
+	// gives a non-resuming client (protocol v1 behavior): any connection
+	// loss ends the run with an error.
+	RemoteCfg transport.ClientConfig
 
 	// Seed controls workload generation (DUT timing has its own seed).
 	Seed int64
@@ -128,6 +135,12 @@ type Result struct {
 	TrapCode uint64
 	Mismatch *checker.Mismatch
 	Replay   *replay.Report
+
+	// Degraded marks a remote run whose session was lost beyond the retry
+	// budget and was redone with in-process checking: the verdict below is
+	// authoritative (the DUT and workload are deterministic), but no
+	// networked throughput was measured.
+	Degraded bool
 
 	Cycles uint64
 	Instrs uint64
@@ -205,9 +218,35 @@ func Run(p Params) (*Result, error) {
 		loop = r.loopExecuted
 	}
 	if err := loop(); err != nil {
+		if p.RemoteAddr != "" && errors.Is(err, transport.ErrSessionLost) {
+			return degrade(p, r, err)
+		}
 		return nil, err
 	}
 	r.finish(dutHz)
+	return res, nil
+}
+
+// degrade reruns a remote co-simulation in-process after its session was
+// lost beyond recovery. The workload generator and DUT are deterministic
+// functions of Params, so the rerun reaches the identical verdict the
+// networked session would have — only the networked throughput measurement
+// is lost. The failed attempt's reconnect accounting is carried over so the
+// comparison table shows what the link went through before giving up.
+func degrade(p Params, failed *runner, cause error) (*Result, error) {
+	fp := p
+	fp.RemoteAddr = ""
+	res, err := Run(fp)
+	if err != nil {
+		return nil, fmt.Errorf("cosim: in-process rerun after session loss (%v): %w", cause, err)
+	}
+	res.Degraded = true
+	if res.Exec == nil {
+		res.Exec = &pipeline.Metrics{}
+	}
+	res.Exec.DegradedRuns = 1
+	res.Exec.Reconnects = failed.remoteReconnects
+	res.Exec.ReplayedFrames = failed.remoteReplayed
 	return res, nil
 }
 
@@ -229,6 +268,11 @@ type runner struct {
 	unpacker *batch.Unpacker
 	fixed    *batch.FixedPacker
 	fixedRx  []byte
+
+	// Remote-client accounting snapshotted by loopRemote even when the run
+	// fails, so a degraded rerun can report the failed link's history.
+	remoteReconnects uint64
+	remoteReplayed   uint64
 
 	stop bool
 }
@@ -604,6 +648,9 @@ func (r *Result) Summary() string {
 		status = "ABORTED"
 	case r.TrapCode != 0:
 		status = fmt.Sprintf("HIT BAD TRAP (code %d)", r.TrapCode)
+	}
+	if r.Degraded {
+		status += " [degraded: remote session lost, checked in-process]"
 	}
 	return fmt.Sprintf("[%s/%s/%s] %s — Simulation speed: %.2f KHz (%d cycles, %d instrs)",
 		r.DUTName, r.Platform, r.Config, status, r.SpeedHz/1e3, r.Cycles, r.Instrs)

@@ -39,11 +39,23 @@ func (r *runner) helloFor() transport.Hello {
 // the producer stage is the local hardware side, the sink streams each
 // transfer to the server and stops when a verdict frame arrives.
 func (r *runner) loopRemote() error {
-	cl, err := transport.Dial(r.p.RemoteAddr, r.helloFor(), transport.ClientConfig{})
+	cl, err := transport.Dial(r.p.RemoteAddr, r.helloFor(), r.p.RemoteCfg)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
+	// Snapshot the link's recovery history on the way out — even when the
+	// run fails (a degraded rerun reports how many resumes the session
+	// survived before the budget ran out), and again after Finish, which
+	// can itself trigger resumes while awaiting the verdict.
+	defer func() {
+		r.remoteReconnects = cl.Reconnects()
+		r.remoteReplayed = cl.ReplayedFrames()
+		if r.res.Exec != nil {
+			r.res.Exec.Reconnects = r.remoteReconnects
+			r.res.Exec.ReplayedFrames = r.remoteReplayed
+		}
+	}()
 
 	prod := &hwProducer{r: r}
 	sink := func(x xfer) (bool, error) {
@@ -61,6 +73,8 @@ func (r *runner) loopRemote() error {
 		return err
 	}
 	m.TokenStalls = cl.Stalls()
+	m.Reconnects = cl.Reconnects()
+	m.ReplayedFrames = cl.ReplayedFrames()
 	r.res.Exec = m
 
 	v, err := cl.Finish()

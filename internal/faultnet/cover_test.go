@@ -1,0 +1,94 @@
+package faultnet
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		Delay:        "delay",
+		PartialWrite: "partial-write",
+		ShortRead:    "short-read",
+		Corrupt:      "corrupt",
+		Reset:        "reset",
+		Stall:        "stall",
+		Kind(250):    "kind(250)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}
+
+// TestConnDelegation pins the pass-through half of the net.Conn surface:
+// addresses and deadlines must reach the wrapped connection untouched, or
+// the transport's stall detection silently stops working under faultnet.
+func TestConnDelegation(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := New(a, Plan{Seed: 1}, NewJournal(1))
+	defer c.Close()
+
+	if c.LocalAddr() == nil || c.RemoteAddr() == nil {
+		t.Fatal("addresses must delegate to the wrapped connection")
+	}
+	if err := c.SetDeadline(time.Now().Add(time.Hour)); err != nil {
+		t.Fatalf("SetDeadline: %v", err)
+	}
+	if err := c.SetReadDeadline(time.Now().Add(time.Hour)); err != nil {
+		t.Fatalf("SetReadDeadline: %v", err)
+	}
+	if err := c.SetWriteDeadline(time.Now().Add(time.Hour)); err != nil {
+		t.Fatalf("SetWriteDeadline: %v", err)
+	}
+}
+
+// TestJournalAdoptAndString pins the failure-output contract: a journal with
+// adopted snapshots renders the seed line plus one line per fault, releases
+// every pooled snapshot exactly once, and a nil journal stays inert.
+func TestJournalAdoptAndString(t *testing.T) {
+	gets0, puts0 := event.PoolStats()
+
+	j := NewJournal(77)
+	snap := event.GetBuf(16)
+	snap = append(snap, []byte("original bytes")...)
+	j.AdoptFrame("write", 3, snap)
+	j.record(Event{Dir: "read", Index: 9, Kind: ShortRead, Detail: "slivered"})
+
+	s := j.String()
+	if !strings.Contains(s, "faultnet seed 77") || !strings.Contains(s, "2 fault(s)") {
+		t.Fatalf("journal header wrong: %q", s)
+	}
+	if !strings.Contains(s, "corrupt") || !strings.Contains(s, "short-read") {
+		t.Fatalf("journal body missing fault lines: %q", s)
+	}
+	if n := len(j.Events()); n != 2 {
+		t.Fatalf("Events() = %d entries, want 2", n)
+	}
+	j.Release()
+	j.Release() // idempotent: second release must not double-put
+
+	var nilJ *Journal
+	nilJ.record(Event{})
+	nilJ.Release()
+	if nilJ.Events() != nil {
+		t.Fatal("nil journal must have no events")
+	}
+	if got := nilJ.String(); got != "faultnet: no journal" {
+		t.Fatalf("nil journal String() = %q", got)
+	}
+	// A nil journal still honors the Adopt* ownership transfer by returning
+	// the buffer itself.
+	nilJ.AdoptFrame("write", 0, event.GetBuf(8))
+
+	gets1, puts1 := event.PoolStats()
+	if gets1-gets0 != puts1-puts0 {
+		t.Fatalf("pool imbalance: %d gets vs %d puts", gets1-gets0, puts1-puts0)
+	}
+}

@@ -1,0 +1,258 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/event"
+)
+
+// pipePair returns a faultnet-wrapped writer side and the raw reader side
+// of an in-memory connection.
+func pipePair(t *testing.T, plan Plan, j *Journal) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return New(a, plan, j), b
+}
+
+// readAll drains the raw side until EOF/reset on a helper goroutine.
+func readAll(c net.Conn) <-chan []byte {
+	out := make(chan []byte, 1)
+	go func() {
+		var got []byte
+		buf := make([]byte, 256)
+		for {
+			n, err := c.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				out <- got
+				return
+			}
+		}
+	}()
+	return out
+}
+
+func TestScriptedCorruptFlipsOneByte(t *testing.T) {
+	gets0, puts0 := event.PoolStats()
+	j := NewJournal(42)
+	fc, raw := pipePair(t, Plan{Seed: 42, Script: []Op{{Index: 1, Kind: Corrupt, Offset: 3}}}, j)
+	got := readAll(raw)
+
+	msg0 := []byte("clean-frame")
+	msg1 := []byte("dirty-frame")
+	if _, err := fc.Write(msg0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write(msg1); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+	rx := <-got
+
+	want := append(append([]byte(nil), msg0...), msg1...)
+	if bytes.Equal(rx, want) {
+		t.Fatal("scripted corruption did not change the stream")
+	}
+	diffs := 0
+	for i := range want {
+		if rx[i] != want[i] {
+			diffs++
+			if i != len(msg0)+3 {
+				t.Errorf("byte %d corrupted, want only byte %d", i, len(msg0)+3)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Errorf("%d bytes corrupted, want exactly 1", diffs)
+	}
+	evs := j.Events()
+	if len(evs) == 0 {
+		t.Fatal("journal recorded nothing")
+	}
+	j.Release()
+	gets1, puts1 := event.PoolStats()
+	if gets1-gets0 != puts1-puts0 {
+		t.Fatalf("journal leaked pooled snapshots: %d gets vs %d puts", gets1-gets0, puts1-puts0)
+	}
+}
+
+func TestScriptedResetTruncatesAndCloses(t *testing.T) {
+	j := NewJournal(7)
+	fc, raw := pipePair(t, Plan{Seed: 7, Script: []Op{{Index: 0, Kind: Reset, Offset: 4}}}, j)
+	got := readAll(raw)
+
+	n, err := fc.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("reset write: n=%d err=%v, want ErrInjectedReset", n, err)
+	}
+	if n != 4 {
+		t.Fatalf("reset delivered %d bytes, want 4", n)
+	}
+	if _, err := fc.Write([]byte("more")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write after reset: %v, want ErrInjectedReset", err)
+	}
+	if rx := <-got; !bytes.Equal(rx, []byte("0123")) {
+		t.Fatalf("peer received %q, want the 4-byte prefix", rx)
+	}
+}
+
+func TestScriptedStallSwallowsSilently(t *testing.T) {
+	j := NewJournal(7)
+	fc, raw := pipePair(t, Plan{Seed: 7, Script: []Op{{Index: 1, Kind: Stall}}}, j)
+	got := readAll(raw)
+
+	if _, err := fc.Write([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// The stalled writes must report success while delivering nothing.
+	for i := 0; i < 3; i++ {
+		n, err := fc.Write([]byte("lost"))
+		if err != nil || n != 4 {
+			t.Fatalf("stalled write %d: n=%d err=%v, want silent success", i, n, err)
+		}
+	}
+	fc.Close()
+	if rx := <-got; !bytes.Equal(rx, []byte("before")) {
+		t.Fatalf("peer received %q, want only the pre-stall bytes", rx)
+	}
+	evs := j.Events()
+	if len(evs) != 1 || evs[0].Kind != Stall {
+		t.Fatalf("journal %v, want exactly one stall event", evs)
+	}
+}
+
+func TestShortReadsDeliverEverything(t *testing.T) {
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	j := NewJournal(11)
+	fr := New(b, Plan{Seed: 11, PShortRead: 1.0}, j)
+
+	payload := bytes.Repeat([]byte{0xcd}, 300)
+	go func() {
+		a.Write(payload)
+		a.Close()
+	}()
+	got, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("short reads changed the stream: %d bytes, want %d", len(got), len(payload))
+	}
+	if len(j.Events()) == 0 {
+		t.Fatal("no short-read events journaled at probability 1.0")
+	}
+}
+
+// TestProbabilisticDeterminism: the same seed must produce the identical
+// fault sequence; a different seed must (for this configuration) differ.
+func TestProbabilisticDeterminism(t *testing.T) {
+	runOnce := func(seed int64) []Event {
+		j := NewJournal(seed)
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		fc := New(a, Plan{Seed: seed, PDelay: 0.3, PPartial: 0.3, MaxDelay: time.Microsecond}, j)
+		done := readAll(b)
+		for i := 0; i < 40; i++ {
+			if _, err := fc.Write([]byte("deterministic-chaos")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fc.Close()
+		<-done
+		return j.Events()
+	}
+	first := runOnce(123)
+	second := runOnce(123)
+	if len(first) == 0 {
+		t.Fatal("no faults fired at 30% probabilities over 40 writes")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("same seed produced %d then %d faults", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("fault %d differs across identical seeds:\n  %v\n  %v", i, first[i], second[i])
+		}
+	}
+	other := runOnce(124)
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical fault sequence")
+	}
+}
+
+func TestListenerWrapsPerConnection(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	journals := map[int]*Journal{}
+	l := &Listener{Listener: inner, NewPlan: func(i int) (Plan, *Journal) {
+		j := NewJournal(int64(i))
+		mu.Lock()
+		journals[i] = j
+		mu.Unlock()
+		return Plan{Seed: int64(i), Script: []Op{{Index: 0, Kind: Stall}}}, j
+	}}
+	t.Cleanup(func() { l.Close() })
+
+	srvGot := make(chan []byte, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() { srvGot <- <-readAll(c) }()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", inner.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The server-side wrapper stalls on its first write; the client's
+		// writes still arrive (faults are injected on the wrapped side).
+		if _, err := c.Write([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	for i := 0; i < 2; i++ {
+		if rx := <-srvGot; !bytes.Equal(rx, []byte("hello")) {
+			t.Fatalf("server read %q, want %q", rx, "hello")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(journals) != 2 {
+		t.Fatalf("%d journals, want one per accepted connection", len(journals))
+	}
+}
+
+func TestJournalStringNamesSeed(t *testing.T) {
+	j := NewJournal(9001)
+	j.record(Event{Dir: "write", Index: 3, Kind: Corrupt, Detail: "x"})
+	s := j.String()
+	if !bytes.Contains([]byte(s), []byte("9001")) {
+		t.Fatalf("journal output %q does not name its seed", s)
+	}
+}

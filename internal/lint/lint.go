@@ -284,6 +284,10 @@ func isBatchPath(path string) bool {
 	return path == "repro/internal/batch" || strings.HasSuffix(path, "/internal/batch")
 }
 
+func isFaultnetPath(path string) bool {
+	return path == "repro/internal/faultnet" || strings.HasSuffix(path, "/internal/faultnet")
+}
+
 // eventFunc reports whether obj is the named function from the event package.
 func eventFunc(obj types.Object, name string) bool {
 	fn, ok := obj.(*types.Func)

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // PoolCheck verifies the buffer-pool ownership discipline around
@@ -175,14 +176,22 @@ func (pc *poolChecker) stmt(s ast.Stmt, st *poolState) bool {
 		}
 		pc.scanExpr(s.Cond, st)
 		thenSt := st.clone()
+		elseSt := st.clone()
+		// GetBuf never returns nil, so on the branch where the condition
+		// proves an owner nil it cannot hold a live buffer: the nil-guarded
+		// release `if buf != nil { event.PutBuf(buf) }` covers every path
+		// the buffer was actually acquired on.
+		if obj, nilInThen := nilComparedObj(pc.pass.Info, s.Cond); obj != nil {
+			if nilInThen {
+				delete(thenSt.live, obj)
+			} else {
+				delete(elseSt.live, obj)
+			}
+		}
 		thenExits := pc.stmts(s.Body.List, thenSt)
-		var elseSt *poolState
 		elseExits := false
 		if s.Else != nil {
-			elseSt = st.clone()
 			elseExits = pc.stmt(s.Else, elseSt)
-		} else {
-			elseSt = st.clone()
 		}
 		switch {
 		case thenExits && elseExits:
@@ -486,6 +495,18 @@ func (pc *poolChecker) releaseCall(call *ast.CallExpr, st *poolState) bool {
 		}
 		return true
 	}
+	if isAdoptCall(pc.pass.Info, call) {
+		// faultnet's Adopt* methods take over pooled buffers passed as
+		// arguments (Journal.AdoptFrame keeps the snapshot until Release);
+		// ownership transfers to the receiver, so no PutBuf follows.
+		for _, arg := range call.Args {
+			owners, _ := pc.carriers(arg, st)
+			for _, o := range owners {
+				delete(st.live, o)
+			}
+		}
+		return true
+	}
 	return false
 }
 
@@ -598,6 +619,38 @@ func (pc *poolChecker) dropAcquiredWithin(st *poolState, node ast.Node) {
 	}
 }
 
+// nilComparedObj recognizes the conditions `x == nil` and `x != nil` (either
+// operand order) over a plain identifier. It returns the identifier's object
+// and whether x is known nil on the then-branch (`== nil`) as opposed to the
+// else-branch (`!= nil`); (nil, false) for any other condition shape.
+func nilComparedObj(info *types.Info, cond ast.Expr) (obj types.Object, nilInThen bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	return objectOf(info, id), be.Op == token.EQL
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
 // findGetBufCall returns the first event.GetBuf call inside e, if any.
 func findGetBufCall(info *types.Info, e ast.Expr) *ast.CallExpr {
 	var found *ast.CallExpr
@@ -646,6 +699,26 @@ func isPacketRelease(info *types.Info, call *ast.CallExpr) bool {
 		return false
 	}
 	return isBatchPath(named.Obj().Pkg().Path())
+}
+
+// isAdoptCall reports whether call is an ownership-transferring Adopt*
+// method on a faultnet type. The naming convention is load-bearing: any
+// method of that package whose name starts with "Adopt" takes over the
+// pooled buffers among its arguments for the lifetime of its receiver.
+func isAdoptCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Adopt") {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || fn.Pkg() == nil {
+		return false
+	}
+	return isFaultnetPath(fn.Pkg().Path())
 }
 
 // isTerminalCall reports calls that never return: panic, os.Exit,

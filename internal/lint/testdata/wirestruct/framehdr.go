@@ -7,8 +7,8 @@ import "repro/internal/event"
 // same structural contract: fixed-size, pointer-free, and an EncodedSize
 // constant that matches the packed field layout.
 
-// FrameHdr mirrors the transport frame header: 4+1+1+2+4+8 = 20 bytes with
-// the blank padding field counted.
+// FrameHdr mirrors the v2 transport frame header: 4+1+1+2+4+8+4 = 24 bytes
+// with the blank padding field counted.
 type FrameHdr struct {
 	Magic  uint32
 	Type   uint8
@@ -16,11 +16,12 @@ type FrameHdr struct {
 	_      [2]uint8
 	Length uint32
 	Seq    uint64
+	Check  uint32
 }
 
-func (*FrameHdr) EncodedSize() int               { return 20 }
+func (*FrameHdr) EncodedSize() int               { return 24 }
 func (*FrameHdr) AppendTo(dst []byte) []byte     { return dst }
-func (*FrameHdr) DecodeFrom([]byte) (int, error) { return 20, nil }
+func (*FrameHdr) DecodeFrom([]byte) (int, error) { return 24, nil }
 
 // PointerHdr smuggles heap-shaped fields into a codec struct.
 type PointerHdr struct {

@@ -69,6 +69,18 @@ type Metrics struct {
 	// in-flight queue filling up, TokenStalls the server-granted window.
 	TokenStalls uint64
 
+	// Reconnects counts successful session resumes after broken connections
+	// (networked runs with a resume-enabled client; copied from the
+	// transport client like TokenStalls).
+	Reconnects uint64
+	// ReplayedFrames counts data frames retransmitted from the client's
+	// replay window across those resumes.
+	ReplayedFrames uint64
+	// DegradedRuns is 1 when the networked session was lost beyond the
+	// retry budget and the run was redone with in-process checking
+	// (cosim's graceful degradation), 0 otherwise.
+	DegradedRuns uint64
+
 	// QueuePeak is the largest in-flight queue occupancy the link stage
 	// observed (non-blocking mode; always ≤ Config.QueueDepth).
 	QueuePeak int

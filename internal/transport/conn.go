@@ -2,7 +2,9 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"strings"
@@ -55,69 +57,120 @@ func (c *Conn) SetDeadlineNow() { c.c.SetDeadline(time.Now()) }
 // RemoteAddr reports the peer address for logging.
 func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 
-// WriteFrame sends one frame. The payload is not retained.
+// WriteFrame sends one frame. The payload is not retained. Errors are typed
+// *FrameError so callers can locate the failing frame.
 func (c *Conn) WriteFrame(typ uint8, payload []byte) error {
 	if len(payload) > MaxFrameBytes {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+		return frameErr("write", typ, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload)))
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if c.WriteTimeout > 0 {
 		if err := c.c.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
-			return err
+			return frameErr("write", typ, c.writeSeq, err)
 		}
 	}
 	h := FrameHeader{Magic: FrameMagic, Type: typ, Length: uint32(len(payload)), Seq: c.writeSeq}
-	c.writeSeq++
 	c.scratch = h.AppendTo(c.scratch[:0])
+	// The staged header bytes before Check are exactly what Sum covers, so
+	// checksum the staging buffer rather than re-encoding the fields.
+	sum := crc32Frame(c.scratch[:frameCheckOffset], payload)
+	binary.LittleEndian.PutUint32(c.scratch[frameCheckOffset:], sum)
+	seq := c.writeSeq
+	c.writeSeq++
 	if _, err := c.bw.Write(c.scratch); err != nil {
-		return err
+		return frameErr("write", typ, seq, err)
 	}
 	if _, err := c.bw.Write(payload); err != nil {
-		return err
+		return frameErr("write", typ, seq, err)
 	}
-	return c.bw.Flush()
+	if err := c.bw.Flush(); err != nil {
+		return frameErr("write", typ, seq, err)
+	}
+	return nil
 }
 
 // ReadFrame reads one frame. The returned payload is a pooled buffer
 // (event.GetBuf) that ownership-transfers to the caller: release it with
 // event.PutBuf once consumed, so the pool's get/put balance holds across a
 // session. A zero-length payload returns nil and needs no release.
+//
+// Error contract: a connection that closes cleanly between frames returns
+// bare io.EOF. Everything else — a connection dying mid-frame (wrapped
+// io.ErrUnexpectedEOF), a corrupt header, a checksum mismatch, a sequence
+// jump, a deadline expiry — returns a typed *FrameError so callers can tell
+// "the stream ended" from "the stream broke".
 func (c *Conn) ReadFrame() (FrameHeader, []byte, error) {
 	var h FrameHeader
 	if c.ReadTimeout > 0 {
 		if err := c.c.SetReadDeadline(time.Now().Add(c.ReadTimeout)); err != nil {
-			return h, nil, err
+			return h, nil, frameErr("read", 0, c.readSeq, err)
 		}
 		c.readArmed = true
 	} else if c.readArmed {
 		// The deadline a previous phase armed (e.g. the dial handshake) would
 		// otherwise keep ticking and kill a deliberately unbounded read.
 		if err := c.c.SetReadDeadline(time.Time{}); err != nil {
-			return h, nil, err
+			return h, nil, frameErr("read", 0, c.readSeq, err)
 		}
 		c.readArmed = false
 	}
 	var hdr [FrameHeaderSize]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return h, nil, err
+		if err == io.EOF {
+			// No header byte arrived: the peer closed at a frame boundary.
+			// This is the only clean way for a stream to end.
+			return h, nil, io.EOF
+		}
+		// Some header bytes arrived, then the connection died: mid-frame.
+		return h, nil, frameErr("read", 0, c.readSeq, err)
 	}
 	if _, err := h.DecodeFrom(hdr[:]); err != nil {
-		return h, nil, err
+		return h, nil, frameErr("read", 0, c.readSeq, err)
+	}
+	var buf []byte
+	if h.Length > 0 {
+		buf = event.GetBuf(int(h.Length))[:h.Length]
+		if _, err := io.ReadFull(c.br, buf); err != nil {
+			event.PutBuf(buf)
+			if err == io.EOF {
+				// The header promised a payload that never came: mid-frame,
+				// not a clean shutdown.
+				err = io.ErrUnexpectedEOF
+			}
+			return h, nil, frameErr("read", h.Type, h.Seq, err)
+		}
+	}
+	// Verify the checksum before trusting any header field beyond Length —
+	// in particular before the sequence check, so a corrupted Seq byte
+	// reports as corruption, not as a protocol violation.
+	if sum := crc32Frame(hdr[:frameCheckOffset], buf); sum != h.Check {
+		if buf != nil {
+			event.PutBuf(buf)
+		}
+		return h, nil, frameErr("read", h.Type, h.Seq,
+			fmt.Errorf("%w: computed %#x, header says %#x", ErrBadChecksum, sum, h.Check))
 	}
 	if h.Seq != c.readSeq {
-		return h, nil, fmt.Errorf("transport: frame sequence jumped from %d to %d", c.readSeq, h.Seq)
+		if buf != nil {
+			event.PutBuf(buf)
+		}
+		return h, nil, frameErr("read", h.Type, h.Seq,
+			fmt.Errorf("%w: from %d to %d", ErrSeqJump, c.readSeq, h.Seq))
 	}
 	c.readSeq++
-	if h.Length == 0 {
-		return h, nil, nil
-	}
-	buf := event.GetBuf(int(h.Length))[:h.Length]
-	if _, err := io.ReadFull(c.br, buf); err != nil {
-		event.PutBuf(buf)
-		return h, nil, err
-	}
 	return h, buf, nil
+}
+
+// crc32Frame extends the CRC32-C of the pre-Check header bytes over the
+// payload; kept beside ReadFrame/WriteFrame so both ends share one
+// definition with FrameHeader.Sum.
+func crc32Frame(hdrPrefix, payload []byte) uint32 {
+	sum := crc32.Checksum(hdrPrefix, castagnoli)
+	if len(payload) > 0 {
+		sum = crc32.Update(sum, castagnoli, payload)
+	}
+	return sum
 }
 
 // SplitAddr resolves an address spec into (network, address): "unix:<path>"

@@ -33,17 +33,52 @@ type Hello struct {
 
 // Welcome is the server's session grant: the negotiated protocol, the
 // server's wire digest (echoed so the client can diagnose a drift in either
-// direction), the session id, and the initial token window.
+// direction), the session id, and the initial token window. When the server
+// parks broken sessions for resume, Resumable is set and ResumeToken is the
+// capability a later Resume frame must present.
 type Welcome struct {
-	Proto      uint16 `json:"proto"`
-	WireDigest uint64 `json:"wire_digest"`
-	Session    uint64 `json:"session"`
-	Tokens     int    `json:"tokens"`
+	Proto       uint16 `json:"proto"`
+	WireDigest  uint64 `json:"wire_digest"`
+	Session     uint64 `json:"session"`
+	Tokens      int    `json:"tokens"`
+	Resumable   bool   `json:"resumable,omitempty"`
+	ResumeToken uint64 `json:"resume_token,omitempty"`
 }
 
-// Credit returns tokens to the client's window.
+// Credit returns tokens to the client's window. Ack is the cumulative count
+// of data frames the server has consumed this session; the client prunes its
+// replay window up to it, so the unacknowledged tail stays bounded by the
+// token window.
 type Credit struct {
-	Tokens int `json:"tokens"`
+	Tokens int    `json:"tokens"`
+	Ack    uint64 `json:"ack,omitempty"`
+}
+
+// Resume reopens a parked session on a fresh connection: it is the first
+// frame the client sends instead of Hello. Sent/Acked are the last
+// contiguous data-frame counts each direction saw — Sent is how many data
+// frames the client has transmitted this session, Acked the highest Credit
+// acknowledgement it received — so the server can sanity-check the client's
+// view against its own before replaying anything.
+type Resume struct {
+	Proto   uint16 `json:"proto"`
+	Session uint64 `json:"session"`
+	Token   uint64 `json:"token"`
+	Sent    uint64 `json:"sent"`
+	Acked   uint64 `json:"acked"`
+}
+
+// ResumeOK accepts a resume. Have is the server's consumed data-frame count:
+// the client prunes its replay window to Have and retransmits everything
+// after it. Tokens regrants the window. Verdict replays an early mismatch
+// verdict the broken connection may have lost; Final, when set, means the
+// session already completed and carries the Done payload — nothing needs
+// retransmission.
+type ResumeOK struct {
+	Have    uint64   `json:"have"`
+	Tokens  int      `json:"tokens"`
+	Verdict *Verdict `json:"verdict,omitempty"`
+	Final   *Verdict `json:"final,omitempty"`
 }
 
 // MismatchReport is the typed mismatch-report payload: the checker's full
@@ -87,7 +122,7 @@ type Verdict struct {
 
 // ErrorInfo is the FrameError payload.
 type ErrorInfo struct {
-	Code string `json:"code"` // "handshake", "decode", "idle", "overloaded", "internal"
+	Code string `json:"code"` // "handshake", "decode", "idle", "overloaded", "internal", "resume"
 	Msg  string `json:"msg"`
 }
 

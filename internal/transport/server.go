@@ -50,7 +50,9 @@ type ServerConfig struct {
 	// Window is the token window granted per session: the maximum data
 	// frames a client may have in flight (0 = DefaultWindow).
 	Window int
-	// IdleTimeout reaps sessions with no inbound frame for this long
+	// IdleTimeout bounds the wait for an inbound frame. A non-resumable
+	// session idle that long is reaped with an "idle" FrameError; a
+	// resumable one is parked for ResumeWindow instead
 	// (0 = DefaultIdleTimeout).
 	IdleTimeout time.Duration
 	// HandshakeTimeout bounds the wait for the Hello frame
@@ -61,6 +63,12 @@ type ServerConfig struct {
 	// MaxSessions caps concurrent sessions; excess connects are refused
 	// with an "overloaded" FrameError (0 = unlimited).
 	MaxSessions int
+	// ResumeWindow, when positive, makes sessions resumable: a session whose
+	// connection breaks (mid-frame EOF, checksum mismatch, idle stall) is
+	// parked for this long, keeping its checker state so a FrameResume on a
+	// fresh connection continues exactly where the stream stopped. Zero
+	// disables parking — broken sessions die, matching protocol v1 behavior.
+	ResumeWindow time.Duration
 	// Logf, when set, receives one line per session lifecycle step.
 	Logf func(format string, args ...any)
 }
@@ -71,7 +79,29 @@ const (
 	DefaultIdleTimeout      = 30 * time.Second
 	DefaultHandshakeTimeout = 5 * time.Second
 	DefaultWriteTimeout     = 10 * time.Second
+	DefaultResumeWindow     = 2 * time.Minute
 )
+
+// session is the connection-independent state of one DUT session: everything
+// that must survive a broken link for a resume to continue the stream.
+type session struct {
+	id     uint64
+	token  uint64
+	window int
+
+	sess SessionChecker
+
+	// dataRecvd counts data frames consumed this session — the server's
+	// "Have" in the resume exchange and the Ack riding on every credit.
+	dataRecvd uint64
+
+	verdict       *checker.Mismatch // early mismatch, once diagnosed
+	verdictEvents uint64
+	final         *Verdict // Done payload, once the stream ended
+
+	parkedAt time.Time
+	resumes  int
+}
 
 // Server accepts concurrent DUT sessions, each with its own REF+checker.
 type Server struct {
@@ -80,14 +110,18 @@ type Server struct {
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[*Conn]struct{}
+	parked    map[uint64]*session
 	draining  bool
 
 	wg         sync.WaitGroup
 	nextID     atomic.Uint64
+	tokenSalt  uint64
 	active     atomic.Int64
 	served     atomic.Uint64
 	mismatches atomic.Uint64
 	reaped     atomic.Uint64
+	parkCount  atomic.Uint64
+	resumed    atomic.Uint64
 }
 
 // NewServer builds a server; cfg.NewSession is required.
@@ -111,6 +145,8 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*Conn]struct{}),
+		parked:    make(map[uint64]*session),
+		tokenSalt: uint64(time.Now().UnixNano()),
 	}
 }
 
@@ -120,6 +156,9 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// resumable reports whether this server parks broken sessions.
+func (s *Server) resumable() bool { return s.cfg.ResumeWindow > 0 }
+
 // ActiveSessions reports the number of sessions currently being served.
 func (s *Server) ActiveSessions() int { return int(s.active.Load()) }
 
@@ -127,6 +166,12 @@ func (s *Server) ActiveSessions() int { return int(s.active.Load()) }
 // verdicts delivered, and idle sessions reaped.
 func (s *Server) Stats() (served, mismatches, reaped uint64) {
 	return s.served.Load(), s.mismatches.Load(), s.reaped.Load()
+}
+
+// ResumeStats reports lifetime resume counters: sessions parked after a
+// broken connection and successful resumes.
+func (s *Server) ResumeStats() (parked, resumed uint64) {
+	return s.parkCount.Load(), s.resumed.Load()
 }
 
 // Serve accepts sessions on l until the listener closes (Shutdown). Each
@@ -178,14 +223,16 @@ func (s *Server) Serve(l net.Listener) error {
 
 // Shutdown gracefully drains the server: listeners close immediately (no new
 // sessions), active sessions run to their natural end, and when ctx expires
-// the remaining connections are forced closed. Returns ctx.Err() when the
-// drain was forced.
+// the remaining connections are forced closed. Parked sessions are discarded
+// — their checkers hold no pooled buffers, so dropping them is clean.
+// Returns ctx.Err() when the drain was forced.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	for l := range s.listeners {
 		l.Close()
 	}
+	s.parked = make(map[uint64]*session)
 	s.mu.Unlock()
 
 	done := make(chan struct{})
@@ -210,11 +257,38 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // refuse sends a FrameError and gives up on the session.
 func (s *Server) refuse(conn *Conn, code, msg string) {
 	s.logf("session refused (%s): %s", code, msg)
-	conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{Code: code, Msg: msg}))
+	conn.WriteFrame(FrameErrorInfo, encodeJSON(&ErrorInfo{Code: code, Msg: msg}))
 }
 
-// serveSession runs one session end to end: handshake, token-window
-// streaming, verdict delivery.
+// park shelves a session whose connection broke so a Resume can pick it up;
+// expired parks are reaped on every park and resume.
+func (s *Server) park(sn *session, why string) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	sn.parkedAt = now
+	s.parked[sn.id] = sn
+	s.reapParkedLocked(now)
+	s.parkCount.Add(1)
+	s.logf("session %d: parked (%s), resumable for %v", sn.id, why, s.cfg.ResumeWindow)
+}
+
+// reapParkedLocked drops parked sessions past the resume window. Callers
+// hold s.mu.
+func (s *Server) reapParkedLocked(now time.Time) {
+	for id, sn := range s.parked {
+		if now.Sub(sn.parkedAt) > s.cfg.ResumeWindow {
+			delete(s.parked, id)
+			s.reaped.Add(1)
+		}
+	}
+}
+
+// serveSession runs one connection end to end: a Hello opens a fresh
+// session, a Resume continues a parked one.
 func (s *Server) serveSession(conn *Conn) {
 	conn.WriteTimeout = s.cfg.WriteTimeout
 	conn.ReadTimeout = s.cfg.HandshakeTimeout
@@ -224,13 +298,21 @@ func (s *Server) serveSession(conn *Conn) {
 		s.logf("session from %s: handshake read: %v", conn.RemoteAddr(), err)
 		return
 	}
-	if h.Type != FrameHello {
+	switch h.Type {
+	case FrameHello:
+		s.openSession(conn, h, payload)
+	case FrameResume:
+		s.resumeSession(conn, h, payload)
+	default:
 		releaseBuf(payload)
-		s.refuse(conn, "handshake", fmt.Sprintf("expected Hello, got frame type %d", h.Type))
-		return
+		s.refuse(conn, "handshake", fmt.Sprintf("expected Hello or Resume, got frame type %d", h.Type))
 	}
+}
+
+// openSession handles a FrameHello: validate, build the checker, welcome.
+func (s *Server) openSession(conn *Conn, h FrameHeader, payload []byte) {
 	var hello Hello
-	err = decodeJSON(h.Type, payload, &hello)
+	err := decodeJSON(h.Type, payload, &hello)
 	releaseBuf(payload)
 	if err != nil {
 		s.refuse(conn, "handshake", err.Error())
@@ -250,45 +332,131 @@ func (s *Server) serveSession(conn *Conn) {
 		s.refuse(conn, "overloaded", fmt.Sprintf("at capacity (%d sessions)", s.cfg.MaxSessions))
 		return
 	}
-	sess, err := s.cfg.NewSession(hello)
+	chk, err := s.cfg.NewSession(hello)
 	if err != nil {
 		s.refuse(conn, "handshake", err.Error())
 		return
 	}
 
 	id := s.nextID.Add(1)
+	sn := &session{
+		id:     id,
+		token:  (id*0x9e3779b97f4a7c15 ^ s.tokenSalt) | 1,
+		window: s.cfg.Window,
+		sess:   chk,
+	}
 	s.active.Add(1)
 	defer s.active.Add(-1)
 	s.logf("session %d: %s/%s/%s %s instrs=%d seed=%d from %s",
 		id, hello.DUT, hello.Platform, hello.Config, hello.Workload,
 		hello.TargetInstrs, hello.Seed, conn.RemoteAddr())
 
-	if err := conn.WriteFrame(FrameWelcome, encodeJSON(&Welcome{
+	w := Welcome{
 		Proto: ProtoVersion, WireDigest: event.FormatDigest(),
-		Session: id, Tokens: s.cfg.Window,
-	})); err != nil {
+		Session: id, Tokens: sn.window,
+	}
+	if s.resumable() {
+		w.Resumable = true
+		w.ResumeToken = sn.token
+	}
+	if err := conn.WriteFrame(FrameWelcome, encodeJSON(&w)); err != nil {
 		s.logf("session %d: welcome write: %v", id, err)
 		return
 	}
 
 	conn.ReadTimeout = s.cfg.IdleTimeout
-	s.runSession(conn, id, sess)
+	s.runSession(conn, sn)
+}
+
+// resumeSession handles a FrameResume: look the parked session up, replay
+// what the broken connection lost, continue the stream.
+func (s *Server) resumeSession(conn *Conn, h FrameHeader, payload []byte) {
+	var r Resume
+	err := decodeJSON(h.Type, payload, &r)
+	releaseBuf(payload)
+	if err != nil {
+		s.refuse(conn, "resume", err.Error())
+		return
+	}
+	if r.Proto != ProtoVersion {
+		s.refuse(conn, "resume", fmt.Sprintf("protocol version %d (server speaks %d)", r.Proto, ProtoVersion))
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.reapParkedLocked(now)
+	sn := s.parked[r.Session]
+	if sn != nil && sn.token == r.Token {
+		delete(s.parked, r.Session)
+	} else {
+		sn = nil
+	}
+	s.mu.Unlock()
+	if sn == nil {
+		s.refuse(conn, "resume", fmt.Sprintf("unknown or expired session %d", r.Session))
+		return
+	}
+	if r.Sent < sn.dataRecvd {
+		// The client claims it sent fewer data frames than this session
+		// consumed — the resume targets a different stream.
+		s.refuse(conn, "resume", fmt.Sprintf(
+			"client sent %d data frames but session %d consumed %d", r.Sent, r.Session, sn.dataRecvd))
+		return
+	}
+	sn.resumes++
+	s.resumed.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	s.logf("session %d: resumed (#%d) from %s: have=%d client sent=%d",
+		sn.id, sn.resumes, conn.RemoteAddr(), sn.dataRecvd, r.Sent)
+
+	ok := ResumeOK{Have: sn.dataRecvd, Tokens: sn.window, Final: sn.final}
+	if sn.verdict != nil && sn.final == nil {
+		// Replay the early mismatch verdict the broken link may have lost.
+		ok.Verdict = &Verdict{Mismatch: NewMismatchReport(sn.verdict), Events: sn.verdictEvents}
+	}
+	if err := conn.WriteFrame(FrameResumeOK, encodeJSON(&ok)); err != nil {
+		s.logf("session %d: resume-ok write: %v", sn.id, err)
+		s.park(sn, "resume-ok write failed")
+		return
+	}
+	if sn.final != nil {
+		// The session already completed; the ResumeOK carried the Done
+		// payload. Park it again so even a lost ResumeOK can be retried
+		// until the resume window closes.
+		s.park(sn, "completed, awaiting client ack of final verdict")
+		return
+	}
+
+	conn.ReadTimeout = s.cfg.IdleTimeout
+	s.runSession(conn, sn)
 }
 
 // runSession is the per-session data loop. Every inbound data frame costs
 // the client a token; the credit returning it is sent only after the frame's
 // pooled buffer has been consumed and released, so the window also bounds
-// the server's buffered bytes.
-func (s *Server) runSession(conn *Conn, id uint64, sess SessionChecker) {
-	var verdict *checker.Mismatch
+// the server's buffered bytes. Each credit also acknowledges the consumed
+// prefix (Credit.Ack) so the client prunes its replay window.
+func (s *Server) runSession(conn *Conn, sn *session) {
+	id := sn.id
 	for {
 		h, payload, err := conn.ReadFrame()
 		if err != nil {
 			if isTimeout(err) {
+				if s.resumable() {
+					s.park(sn, "idle")
+					return
+				}
 				s.reaped.Add(1)
 				s.logf("session %d: idle for %v, reaping", id, s.cfg.IdleTimeout)
-				conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{
+				conn.WriteFrame(FrameErrorInfo, encodeJSON(&ErrorInfo{
 					Code: "idle", Msg: fmt.Sprintf("no frame for %v", s.cfg.IdleTimeout)}))
+				return
+			}
+			// Clean EOF between frames and broken streams alike: the
+			// connection is gone, but the session can continue on a new one.
+			if s.resumable() {
+				s.park(sn, fmt.Sprintf("connection lost: %v", err))
 				return
 			}
 			s.logf("session %d: read: %v", id, err)
@@ -296,38 +464,49 @@ func (s *Server) runSession(conn *Conn, id uint64, sess SessionChecker) {
 		}
 		switch h.Type {
 		case FramePacket, FrameItems:
-			m, err := s.consume(sess, h.Type, payload, verdict != nil)
+			m, err := s.consume(sn.sess, h.Type, payload, sn.verdict != nil)
 			releaseBuf(payload)
 			if err != nil {
+				// The checksum held, so this is a malformed payload from the
+				// client itself, not line noise — a fatal protocol error, not
+				// a resumable fault.
 				s.logf("session %d: decode: %v", id, err)
-				conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{Code: "decode", Msg: err.Error()}))
+				conn.WriteFrame(FrameErrorInfo, encodeJSON(&ErrorInfo{Code: "decode", Msg: err.Error()}))
 				return
 			}
+			sn.dataRecvd++
 			// The frame is consumed: return its token before the verdict so
 			// a stopped client never deadlocks holding zero tokens.
-			if err := conn.WriteFrame(FrameCredit, encodeJSON(&Credit{Tokens: 1})); err != nil {
+			if err := conn.WriteFrame(FrameCredit, encodeJSON(&Credit{Tokens: 1, Ack: sn.dataRecvd})); err != nil {
 				s.logf("session %d: credit write: %v", id, err)
+				if s.resumable() {
+					s.park(sn, "credit write failed")
+				}
 				return
 			}
-			if m != nil && verdict == nil {
-				verdict = m
+			if m != nil && sn.verdict == nil {
+				sn.verdict = m
+				sn.verdictEvents = sn.sess.Events()
 				s.mismatches.Add(1)
 				s.logf("session %d: mismatch: %v", id, m)
 				if err := conn.WriteFrame(FrameVerdict, encodeJSON(&Verdict{
-					Mismatch: NewMismatchReport(m), Events: sess.Events(),
+					Mismatch: NewMismatchReport(m), Events: sn.verdictEvents,
 				})); err != nil {
 					s.logf("session %d: verdict write: %v", id, err)
+					if s.resumable() {
+						s.park(sn, "verdict write failed")
+					}
 					return
 				}
 			}
 		case FrameEnd:
 			releaseBuf(payload)
-			v := Verdict{Mismatch: NewMismatchReport(verdict), Events: sess.Events()}
-			if verdict == nil {
-				fin, err := sess.Finish()
+			v := Verdict{Mismatch: NewMismatchReport(sn.verdict), Events: sn.sess.Events()}
+			if sn.verdict == nil {
+				fin, err := sn.sess.Finish()
 				if err != nil {
 					s.logf("session %d: finish: %v", id, err)
-					conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{Code: "internal", Msg: err.Error()}))
+					conn.WriteFrame(FrameErrorInfo, encodeJSON(&ErrorInfo{Code: "internal", Msg: err.Error()}))
 					return
 				}
 				if fin.Mismatch != nil {
@@ -337,11 +516,19 @@ func (s *Server) runSession(conn *Conn, id uint64, sess SessionChecker) {
 					v.Finished = true
 					v.TrapCode = fin.TrapCode
 				}
-				v.Events = sess.Events()
+				v.Events = sn.sess.Events()
 			}
+			sn.final = &v
 			s.served.Add(1)
-			if err := conn.WriteFrame(FrameDone, encodeJSON(&v)); err != nil {
+			err := conn.WriteFrame(FrameDone, encodeJSON(&v))
+			if err != nil {
 				s.logf("session %d: done write: %v", id, err)
+			}
+			if s.resumable() {
+				// Even after a successful write the client may never see the
+				// Done frame (stalled link); keep the completed session
+				// resumable so the final verdict can be replayed.
+				s.park(sn, "completed")
 			}
 			s.logf("session %d: done (finished=%v mismatch=%v, %d events)",
 				id, v.Finished, v.Mismatch != nil, v.Events)
@@ -349,7 +536,7 @@ func (s *Server) runSession(conn *Conn, id uint64, sess SessionChecker) {
 		default:
 			releaseBuf(payload)
 			s.logf("session %d: unexpected frame type %d", id, h.Type)
-			conn.WriteFrame(FrameError, encodeJSON(&ErrorInfo{
+			conn.WriteFrame(FrameErrorInfo, encodeJSON(&ErrorInfo{
 				Code: "decode", Msg: fmt.Sprintf("unexpected frame type %d", h.Type)}))
 			return
 		}

@@ -188,7 +188,7 @@ func TestServerRejectsProtocolMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer releaseBuf(payload)
-	if fh.Type != FrameError {
+	if fh.Type != FrameErrorInfo {
 		t.Fatalf("server answered frame type %d, want FrameError", fh.Type)
 	}
 	var ei ErrorInfo
@@ -223,7 +223,7 @@ func TestServerRejectsWireDigestDrift(t *testing.T) {
 	}
 	defer releaseBuf(payload)
 	var ei ErrorInfo
-	if fh.Type != FrameError || decodeJSON(fh.Type, payload, &ei) != nil {
+	if fh.Type != FrameErrorInfo || decodeJSON(fh.Type, payload, &ei) != nil {
 		t.Fatalf("expected a FrameError rejection, got type %d", fh.Type)
 	}
 	if !strings.Contains(ei.Msg, "digest") {
