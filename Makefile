@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke integration cover ci
+.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke bench-json integration cover ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,20 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# Perf trajectory gate (cmd/benchjson): snapshot the committed BENCH_*.json
+# baselines, regenerate them in place from fresh benchmark runs, and fail on
+# regressions beyond the thresholds (see DESIGN.md "Perf trajectory").
+# bench-out/ keeps both the snapshot and the fresh JSON; CI's bench-trajectory
+# job runs exactly this target and uploads bench-out/ as an artifact. To
+# accept a new performance level, commit the regenerated BENCH_*.json files.
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	rm -rf bench-out && mkdir -p bench-out/baseline
+	cp BENCH_*.json bench-out/baseline/
+	./bin/benchjson run -out .
+	cp BENCH_*.json bench-out/
+	./bin/benchjson gate -baseline bench-out/baseline -fresh .
+
 # Networked loopback gate: a real difftestd-equivalent server on a Unix
 # socket, concurrent sessions (one injected-bug mismatching, one clean, plus
 # a 5-session fan-in), token-window stalls, cancellation — all under -race,
@@ -76,4 +90,4 @@ integration:
 cover:
 	./scripts/coverfloor.sh
 
-ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke cover integration
+ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke bench-json cover integration

@@ -187,7 +187,7 @@ func benchConfig(b *testing.B, cfg string) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
-	var cycles uint64
+	var cycles, instrs uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := cosim.Run(cosim.Params{
@@ -201,8 +201,10 @@ func benchConfig(b *testing.B, cfg string) {
 			b.Fatalf("mismatch: %v", res.Mismatch)
 		}
 		cycles = res.Cycles
+		instrs = res.Instrs
 	}
 	b.ReportMetric(float64(cycles), "DUTcycles/op")
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
 }
 
 func BenchmarkCosimBaselineZ(b *testing.B)    { benchConfig(b, "Z") }

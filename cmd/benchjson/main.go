@@ -1,0 +1,156 @@
+// Command benchjson maintains the repo's machine-readable perf trajectory:
+// it runs the canonical benchmark areas, writes one BENCH_<area>.json per
+// area, and gates fresh measurements against committed baselines.
+//
+// Usage:
+//
+//	benchjson run  [-areas codec,batch] [-count 4] [-out DIR] [-C repo]
+//	benchjson compare [-areas ...] OLD_DIR NEW_DIR
+//	benchjson gate [-threshold 0.15] [-areas ...] -baseline DIR -fresh DIR
+//	benchjson areas
+//
+// `make bench-json` snapshots the committed baselines, regenerates the
+// BENCH_*.json files in place, and gates the fresh numbers against the
+// snapshot; CI's bench-trajectory job runs exactly that and uploads the
+// fresh JSON as an artifact. To accept a new performance level, commit the
+// regenerated files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	case "gate":
+		cmdGate(os.Args[2:])
+	case "areas":
+		cmdAreas()
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `benchjson — machine-readable perf trajectory (BENCH_<area>.json)
+
+subcommands:
+  run      measure areas and write BENCH_<area>.json files
+  compare  diff two directories of BENCH_*.json and print every delta
+  gate     like compare, but exit 1 on regressions beyond thresholds
+  areas    list the canonical areas and their benchmark surfaces`)
+}
+
+// splitAreas parses the -areas list ("" or "all" = every canonical area).
+func splitAreas(s string) []string {
+	if s == "" || s == "all" {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	areas := fs.String("areas", "all", "comma-separated area names (see `benchjson areas`)")
+	count := fs.Int("count", 4, "benchmark repeats per area (-count); medians reduce them")
+	out := fs.String("out", ".", "directory to write BENCH_<area>.json files to")
+	dir := fs.String("C", ".", "repo root to run `go test -bench` from")
+	spreadMax := fs.Float64("max-spread", 0.40, "variance guard: re-run an area once when ns/op (max-min)/median exceeds this")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	fs.Parse(args)
+
+	r := &benchjson.Runner{Dir: *dir, Count: *count, MaxSpread: *spreadMax}
+	if !*quiet {
+		r.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	docs, err := r.RunAreas(splitAreas(*areas))
+	exitOn(err)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		exitOn(err)
+	}
+	for _, d := range docs {
+		exitOn(d.WriteFile(*out))
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s/%s (%d benchmarks)\n",
+				*out, benchjson.FileName(d.Area), len(d.Benchmarks))
+		}
+	}
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	areas := fs.String("areas", "all", "comma-separated area names")
+	threshold := fs.Float64("threshold", 0, "override the relative time/throughput threshold (0 = default 0.15)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-areas ...] OLD_DIR NEW_DIR")
+		os.Exit(2)
+	}
+	deltas, err := benchjson.Gate(fs.Arg(0), fs.Arg(1), splitAreas(*areas), thresholdFor(*threshold))
+	exitOn(err)
+	fmt.Print(benchjson.FormatDeltas(deltas))
+}
+
+func cmdGate(args []string) {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	areas := fs.String("areas", "all", "comma-separated area names")
+	threshold := fs.Float64("threshold", 0, "relative ns/op and instrs/s regression allowance (0 = default 0.15)")
+	baseline := fs.String("baseline", ".", "directory holding the committed BENCH_*.json baselines")
+	fresh := fs.String("fresh", ".", "directory holding the freshly measured BENCH_*.json files")
+	fs.Parse(args)
+
+	th := thresholdFor(*threshold)
+	deltas, err := benchjson.Gate(*baseline, *fresh, splitAreas(*areas), th)
+	exitOn(err)
+	fmt.Print(benchjson.SummarizeGate(deltas, th))
+	if len(benchjson.Regressions(deltas)) > 0 {
+		os.Exit(1)
+	}
+}
+
+func cmdAreas() {
+	for _, a := range benchjson.Areas() {
+		fmt.Printf("%-10s %-45s -benchtime=%-6s %s\n",
+			a.Name, strings.Join(a.Packages, ","), a.Benchtime, a.Pattern)
+	}
+}
+
+// thresholdFor builds the gate policy, overriding the relative time
+// threshold when the flag is set.
+func thresholdFor(t float64) benchjson.Threshold {
+	th := benchjson.DefaultThreshold()
+	if t > 0 {
+		th.Time = t
+	}
+	return th
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,242 @@
+// Package benchjson is the machine-readable perf-trajectory harness: it runs
+// the repo's benchmark surface area by area, parses `go test -bench` output,
+// reduces repeat runs to medians with a variance guard (benchstat's approach,
+// without the x/perf dependency), and emits one BENCH_<area>.json per area so
+// every PR's speed claims land in a committed, CI-gated time series instead
+// of a prose changelog.
+//
+// The five canonical areas mirror the layers the paper's speedups live in:
+//
+//	codec      per-kind wire encode/decode          (internal/event)
+//	batch      packet packing and unpacking         (internal/batch)
+//	transport  frame round-trip over a real socket  (internal/transport)
+//	pipeline   executed concurrent pipeline         (internal/pipeline, internal/cosim)
+//	remote     difftestd loopback RTT and sessions  (internal/cosim)
+//
+// cmd/benchjson wraps this package as a CLI with run / compare / gate
+// subcommands; `make bench-json` and CI's bench-trajectory job drive it.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Schema is the BENCH_*.json schema version; bump on incompatible changes.
+const Schema = 1
+
+// Area names one benchmark surface: the packages and the benchmark pattern
+// that measure it, plus the benchtime its workloads need.
+type Area struct {
+	// Name keys the output file: BENCH_<Name>.json.
+	Name string
+	// Packages are the go test package patterns (./internal/... form).
+	Packages []string
+	// Pattern is the -bench regexp selecting the area's benchmarks.
+	Pattern string
+	// Benchtime is the -benchtime per run. Iteration-count form ("1000x")
+	// keeps runs deterministic in length; wall-time form would let a slower
+	// machine quietly measure fewer iterations.
+	Benchtime string
+}
+
+// Areas returns the canonical benchmark areas in trajectory order.
+func Areas() []Area {
+	return []Area{
+		{
+			Name:      "codec",
+			Packages:  []string{"./internal/event"},
+			Pattern:   "^(BenchmarkCodecRoundTrip|BenchmarkCodecRoundTripLargest|BenchmarkEncodeCommit|BenchmarkDecodeCommit)$",
+			Benchtime: "200000x",
+		},
+		{
+			Name:      "batch",
+			Packages:  []string{"./internal/batch"},
+			Pattern:   "^(BenchmarkBatchPack|BenchmarkBatchUnpack)$",
+			Benchtime: "20000x",
+		},
+		{
+			Name:      "transport",
+			Packages:  []string{"./internal/transport"},
+			Pattern:   "^(BenchmarkFrameRoundTrip|BenchmarkFrameHeaderSum)$",
+			Benchtime: "2000x",
+		},
+		{
+			Name:      "pipeline",
+			Packages:  []string{"./internal/pipeline", "./internal/cosim"},
+			Pattern:   "^(BenchmarkPipelineBlocking|BenchmarkPipelineNonBlocking|BenchmarkExecutedBatchEB|BenchmarkExecutedNonBlockEBIN|BenchmarkExecutedSquashEBINSD)$",
+			Benchtime: "3x",
+		},
+		{
+			Name:      "remote",
+			Packages:  []string{"./internal/cosim"},
+			Pattern:   "^(BenchmarkRemoteLoopbackRTT|BenchmarkRemoteLoopbackSession)$",
+			Benchtime: "3x",
+		},
+	}
+}
+
+// AreaByName resolves one canonical area.
+func AreaByName(name string) (Area, bool) {
+	for _, a := range Areas() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Area{}, false
+}
+
+// Bench is one benchmark's reduced measurement: medians across repeat runs.
+type Bench struct {
+	Name string `json:"name"`
+	// Runs is how many samples the medians reduce (≥ the configured count;
+	// the variance guard adds runs when the spread is too wide).
+	Runs int `json:"runs"`
+	// Iters is the median per-run iteration count (go test's N column).
+	Iters int64 `json:"iters"`
+
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	// MinNsPerOp is the fastest run's ns/op. On a noisy host the run-to-run
+	// floor is far more stable than the median (noise only ever adds time),
+	// so the gate requires both the median and the floor to regress before
+	// failing — a real slowdown shifts the whole distribution, noise only
+	// the upper tail.
+	MinNsPerOp float64 `json:"min_ns_per_op,omitempty"`
+
+	// InstrsPerSec is the derived throughput, taken from the benchmark's own
+	// `instrs/s` ReportMetric — the one canonical source — when it reports
+	// one, 0 otherwise. benchjson never re-computes it from ns/op.
+	InstrsPerSec float64 `json:"instrs_per_sec,omitempty"`
+
+	// Metrics holds the medians of any other custom b.ReportMetric units
+	// (transfers/s, DUTcycles/op, MB/s, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Spread is (max-min)/median of ns/op across the runs — the variance
+	// guard's dispersion measure, recorded so a noisy baseline is visible.
+	Spread float64 `json:"spread"`
+}
+
+// Doc is one BENCH_<area>.json file.
+type Doc struct {
+	Schema     int     `json:"schema"`
+	Area       string  `json:"area"`
+	GoVersion  string  `json:"go"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	Count      int     `json:"count"`
+	Benchtime  string  `json:"benchtime"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+// NewDoc builds an empty document stamped with this binary's environment.
+func NewDoc(area Area, count int) *Doc {
+	return &Doc{
+		Schema:    Schema,
+		Area:      area.Name,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Count:     count,
+		Benchtime: area.Benchtime,
+	}
+}
+
+// FileName returns the committed baseline name for an area.
+func FileName(area string) string { return "BENCH_" + area + ".json" }
+
+// WriteFile marshals the document to dir/BENCH_<area>.json.
+func (d *Doc) WriteFile(dir string) error {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(filepath.Join(dir, FileName(d.Area)), buf, 0o644)
+}
+
+// ReadFile loads dir/BENCH_<area>.json.
+func ReadFile(dir, area string) (*Doc, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, FileName(area)))
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", FileName(area), err)
+	}
+	if d.Schema != Schema {
+		return nil, fmt.Errorf("benchjson: %s: schema %d (this binary speaks %d)", FileName(area), d.Schema, Schema)
+	}
+	if d.Area != area {
+		return nil, fmt.Errorf("benchjson: %s names area %q", FileName(area), d.Area)
+	}
+	return &d, nil
+}
+
+// Bench looks a benchmark up by name.
+func (d *Doc) Bench(name string) (Bench, bool) {
+	for _, b := range d.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Bench{}, false
+}
+
+// median reduces samples; even-length inputs average the middle pair
+// (benchstat's convention). The input is not modified.
+func median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// spread is the relative dispersion (max-min)/median; 0 for degenerate input.
+func spread(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	min, max := samples[0], samples[0]
+	for _, v := range samples[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	m := median(samples)
+	if m == 0 {
+		return 0
+	}
+	return (max - min) / m
+}
+
+// minOf returns the smallest sample (0 when empty).
+func minOf(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	min := samples[0]
+	for _, v := range samples[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,203 @@
+package benchjson
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Threshold is the regression policy one gate run applies.
+type Threshold struct {
+	// Time is the relative ns/op regression allowance (0.15 = fail beyond
+	// +15%). Applied symmetrically to throughput metrics (instrs/s drops).
+	Time float64
+	// Bytes is the relative B/op allowance. A zero-B/op baseline uses
+	// ZeroBytesSlack instead (relative growth from zero is undefined).
+	Bytes float64
+	// Allocs is the absolute allocs/op allowance above the baseline, on top
+	// of a relative Bytes-fraction allowance. The codec work pinned several
+	// paths at 0 allocs/op; the default 0.5 keeps them pinned (0.5 + 25% of
+	// zero is still 0.5) while an allocation-heavy session benchmark with a
+	// ~34k allocs/op baseline is allowed proportional jitter instead of
+	// failing on +1%.
+	Allocs float64
+	// ZeroBytesSlack is the absolute B/op allowance when the baseline is 0.
+	ZeroBytesSlack float64
+}
+
+// DefaultThreshold fails a gate on >15% ns/op or throughput regression, >25%
+// B/op growth, or any new allocation on a pinned-zero path. The ISSUE's
+// acceptance bar — a deliberate 20% slowdown must fail the gate — is why
+// Time sits below 0.20.
+func DefaultThreshold() Threshold {
+	return Threshold{Time: 0.15, Bytes: 0.25, Allocs: 0.5, ZeroBytesSlack: 16}
+}
+
+// Delta is one benchmark metric's baseline-vs-fresh movement.
+type Delta struct {
+	Area      string
+	Bench     string
+	Metric    string // "ns/op", "B/op", "allocs/op", "instrs/s"
+	Old, New  float64
+	Rel       float64 // (new-old)/old, +worse for costs, computed per metric
+	Regressed bool
+	Note      string // set for structural failures (missing benchmark)
+}
+
+// String renders one delta for gate output.
+func (d Delta) String() string {
+	if d.Note != "" {
+		return fmt.Sprintf("%s/%s: %s", d.Area, d.Bench, d.Note)
+	}
+	return fmt.Sprintf("%s/%s %s: %.4g -> %.4g (%+.1f%%)",
+		d.Area, d.Bench, d.Metric, d.Old, d.New, d.Rel*100)
+}
+
+// Compare evaluates a fresh run against a committed baseline. Every
+// benchmark in the baseline must still exist — a disappeared benchmark is a
+// trajectory hole and fails the gate; fresh-only benchmarks are reported as
+// informational zero-old deltas and never fail.
+func Compare(old, fresh *Doc, th Threshold) []Delta {
+	var deltas []Delta
+	for _, ob := range old.Benchmarks {
+		nb, ok := fresh.Bench(ob.Name)
+		if !ok {
+			deltas = append(deltas, Delta{
+				Area: old.Area, Bench: ob.Name, Regressed: true,
+				Note: "benchmark missing from the fresh run (trajectory hole)",
+			})
+			continue
+		}
+		deltas = append(deltas, compareBench(old.Area, ob, nb, th)...)
+	}
+	for _, nb := range fresh.Benchmarks {
+		if _, ok := old.Bench(nb.Name); !ok {
+			deltas = append(deltas, Delta{
+				Area: old.Area, Bench: nb.Name, Metric: "ns/op",
+				New: nb.NsPerOp, Note: "new benchmark (no baseline yet)",
+			})
+		}
+	}
+	return deltas
+}
+
+// compareBench applies the per-metric policy to one benchmark pair.
+func compareBench(area string, ob, nb Bench, th Threshold) []Delta {
+	var ds []Delta
+	add := func(metric string, old, new, rel float64, regressed bool) {
+		ds = append(ds, Delta{Area: area, Bench: ob.Name, Metric: metric,
+			Old: old, New: new, Rel: rel, Regressed: regressed})
+	}
+
+	// ns/op: relative, higher is worse. A regression must show in both the
+	// median AND the run-to-run floor: host noise only inflates the upper
+	// tail (it never makes code faster), so a median that drifts up while
+	// the fastest run holds steady is noise, while a real slowdown lifts the
+	// whole distribution including the floor. Baselines written before
+	// MinNsPerOp existed (or degenerate zero floors) fall back to
+	// median-only gating.
+	if ob.NsPerOp > 0 {
+		rel := (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		regressed := rel > th.Time
+		if regressed && ob.MinNsPerOp > 0 && nb.MinNsPerOp > 0 {
+			regressed = (nb.MinNsPerOp-ob.MinNsPerOp)/ob.MinNsPerOp > th.Time
+		}
+		add("ns/op", ob.NsPerOp, nb.NsPerOp, rel, regressed)
+	}
+	// B/op: relative, with an absolute slack when the baseline is zero.
+	switch {
+	case ob.BPerOp > 0:
+		rel := (nb.BPerOp - ob.BPerOp) / ob.BPerOp
+		add("B/op", ob.BPerOp, nb.BPerOp, rel, rel > th.Bytes)
+	case nb.BPerOp > th.ZeroBytesSlack:
+		add("B/op", 0, nb.BPerOp, 1, true)
+	}
+	// allocs/op: absolute allowance plus a Bytes-fraction of the baseline,
+	// so zero-alloc guarantees stay pinned while allocation-heavy paths get
+	// proportional slack.
+	if allowance := th.Allocs + th.Bytes*ob.AllocsPerOp; nb.AllocsPerOp > ob.AllocsPerOp+allowance {
+		add("allocs/op", ob.AllocsPerOp, nb.AllocsPerOp,
+			nb.AllocsPerOp-ob.AllocsPerOp, true)
+	}
+	// instrs/s: throughput, lower is worse; gated only when both runs
+	// report the canonical metric.
+	if ob.InstrsPerSec > 0 && nb.InstrsPerSec > 0 {
+		rel := (ob.InstrsPerSec - nb.InstrsPerSec) / ob.InstrsPerSec
+		add("instrs/s", ob.InstrsPerSec, nb.InstrsPerSec, rel, rel > th.Time)
+	}
+	return ds
+}
+
+// Regressions filters the failing deltas.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDeltas renders a comparison table (all metrics, regressions marked).
+func FormatDeltas(deltas []Delta) string {
+	header := []string{"Area", "Benchmark", "Metric", "Old", "New", "Delta", "Verdict"}
+	var rows [][]string
+	for _, d := range deltas {
+		if d.Note != "" {
+			rows = append(rows, []string{d.Area, d.Bench, "-", "-", "-", "-", d.Note})
+			continue
+		}
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		rows = append(rows, []string{
+			d.Area, d.Bench, d.Metric,
+			fmt.Sprintf("%.4g", d.Old), fmt.Sprintf("%.4g", d.New),
+			fmt.Sprintf("%+.1f%%", d.Rel*100), verdict,
+		})
+	}
+	return stats.Table(header, rows)
+}
+
+// Gate compares every area's baseline and fresh documents and returns the
+// regressions (empty = gate passes). Areas listed in names only; nil = all.
+func Gate(baselineDir, freshDir string, names []string, th Threshold) ([]Delta, error) {
+	if len(names) == 0 {
+		for _, a := range Areas() {
+			names = append(names, a.Name)
+		}
+	}
+	var all []Delta
+	for _, name := range names {
+		old, err := ReadFile(baselineDir, name)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", FileName(name), err)
+		}
+		fresh, err := ReadFile(freshDir, name)
+		if err != nil {
+			return nil, fmt.Errorf("fresh %s: %w", FileName(name), err)
+		}
+		all = append(all, Compare(old, fresh, th)...)
+	}
+	return all, nil
+}
+
+// SummarizeGate renders the gate outcome: the full table plus a verdict line.
+func SummarizeGate(deltas []Delta, th Threshold) string {
+	var sb strings.Builder
+	sb.WriteString(FormatDeltas(deltas))
+	regs := Regressions(deltas)
+	if len(regs) == 0 {
+		fmt.Fprintf(&sb, "gate: PASS (thresholds: time %+.0f%%, bytes %+.0f%%, allocs +%.1f)\n",
+			th.Time*100, th.Bytes*100, th.Allocs)
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "gate: FAIL — %d regression(s):\n", len(regs))
+	for _, d := range regs {
+		fmt.Fprintf(&sb, "  %s\n", d)
+	}
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package benchjson
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one raw benchmark output line, before median reduction.
+type sample struct {
+	iters   int64
+	metrics map[string]float64 // unit → value, e.g. "ns/op" → 4.42
+}
+
+// ParseBench extracts benchmark samples from `go test -bench` output. Repeat
+// runs (-count) of the same benchmark accumulate as separate samples under
+// one name; the trailing -P GOMAXPROCS suffix is stripped so names stay
+// stable across machines.
+//
+// A benchmark output line looks like:
+//
+//	BenchmarkCodecRoundTrip-8   2000   4.42 ns/op   0 B/op   0 allocs/op   12345 instrs/s
+//
+// Unknown units land in the sample's metric map untouched; non-benchmark
+// lines (pkg headers, ok/PASS, b.Log output) are skipped.
+func ParseBench(out []byte) (map[string][]sample, error) {
+	samples := make(map[string][]sample)
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs: at least "Name N v ns/op".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := trimProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with "Benchmark"
+		}
+		s := sample{iters: iters, metrics: make(map[string]float64, (len(fields)-2)/2)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
+			}
+			s.metrics[fields[i+1]] = v
+		}
+		if _, ok := s.metrics["ns/op"]; !ok {
+			continue
+		}
+		samples[name] = append(samples[name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// trimProcs strips go test's -GOMAXPROCS suffix ("BenchmarkFoo-8" → the
+// portable "BenchmarkFoo") without touching dashes inside the name itself.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Reduce folds raw samples into per-benchmark medians, sorted by name.
+func Reduce(samples map[string][]sample) []Bench {
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	// Deterministic output order keeps BENCH_*.json diffs readable.
+	sort.Strings(names)
+
+	benches := make([]Bench, 0, len(names))
+	for _, name := range names {
+		ss := samples[name]
+		unit := func(u string) []float64 {
+			var vs []float64
+			for _, s := range ss {
+				if v, ok := s.metrics[u]; ok {
+					vs = append(vs, v)
+				}
+			}
+			return vs
+		}
+		ns := unit("ns/op")
+		b := Bench{
+			Name:         strings.TrimPrefix(name, "Benchmark"),
+			Runs:         len(ss),
+			NsPerOp:      median(ns),
+			MinNsPerOp:   minOf(ns),
+			BPerOp:       median(unit("B/op")),
+			AllocsPerOp:  median(unit("allocs/op")),
+			InstrsPerSec: median(unit("instrs/s")),
+			Spread:       spread(ns),
+		}
+		var iters []float64
+		for _, s := range ss {
+			iters = append(iters, float64(s.iters))
+		}
+		b.Iters = int64(median(iters))
+		for u := range collectUnits(ss) {
+			switch u {
+			case "ns/op", "B/op", "allocs/op", "instrs/s":
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[u] = median(unit(u))
+		}
+		benches = append(benches, b)
+	}
+	return benches
+}
+
+// collectUnits returns every unit any sample reported.
+func collectUnits(ss []sample) map[string]struct{} {
+	units := make(map[string]struct{})
+	for _, s := range ss {
+		for u := range s.metrics {
+			units[u] = struct{}{}
+		}
+	}
+	return units
+}

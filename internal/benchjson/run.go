@@ -1,0 +1,162 @@
+package benchjson
+
+import (
+	"fmt"
+	"os/exec"
+)
+
+// Runner executes an area's benchmarks and reduces them to a Doc.
+type Runner struct {
+	// Go is the go binary (default "go").
+	Go string
+	// Dir is the repo root the benchmarks run from (default ".").
+	Dir string
+	// Count is the repeat count per benchmark (-count; default 4, even so
+	// the median averages the middle pair and a single outlier never wins).
+	Count int
+	// MaxSpread is the variance guard: when a benchmark's ns/op dispersion
+	// exceeds it, the area is re-run once and the extra samples join the
+	// median (default 0.40). The guard widens the sample set instead of
+	// discarding outliers, so a genuinely bimodal benchmark stays visible
+	// through its recorded Spread.
+	MaxSpread float64
+	// Retries bounds the variance-guard re-runs per area (default 1).
+	Retries int
+	// Exec runs one command and returns its combined output; tests stub it.
+	// A benchmark that fails to build or panics must return an error.
+	Exec func(dir string, name string, args ...string) ([]byte, error)
+	// Logf, when set, narrates runs and variance-guard retries.
+	Logf func(format string, args ...any)
+}
+
+func (r *Runner) defaults() {
+	if r.Go == "" {
+		r.Go = "go"
+	}
+	if r.Dir == "" {
+		r.Dir = "."
+	}
+	if r.Count <= 0 {
+		r.Count = 4
+	}
+	if r.MaxSpread <= 0 {
+		r.MaxSpread = 0.40
+	}
+	if r.Retries < 0 {
+		r.Retries = 0
+	} else if r.Retries == 0 {
+		r.Retries = 1
+	}
+	if r.Exec == nil {
+		r.Exec = execCommand
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// execCommand is the production Exec: run the command in dir, return
+// combined output. Benchmarks write results to stdout and failures to
+// stderr; both matter for diagnostics.
+func execCommand(dir, name string, args ...string) ([]byte, error) {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return out, fmt.Errorf("benchjson: %s %v: %w\n%s", name, args, err, out)
+	}
+	return out, nil
+}
+
+// runOnce performs one `go test -bench` invocation for the area with the
+// given repeat count and returns the raw samples.
+func (r *Runner) runOnce(a Area, count int) (map[string][]sample, error) {
+	args := []string{
+		"test", "-run=^$",
+		"-bench=" + a.Pattern,
+		"-benchmem",
+		"-benchtime=" + a.Benchtime,
+		fmt.Sprintf("-count=%d", count),
+	}
+	args = append(args, a.Packages...)
+	out, err := r.Exec(r.Dir, r.Go, args...)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBench(out)
+}
+
+// RunArea measures one area: Count repeats per benchmark, a variance-guard
+// re-run when any benchmark's ns/op spread exceeds MaxSpread, medians into a
+// Doc. An area whose pattern matches nothing is an error — a silently empty
+// trajectory is exactly what this package exists to prevent.
+func (r *Runner) RunArea(a Area) (*Doc, error) {
+	r.defaults()
+	r.logf("area %s: %v -bench=%s -benchtime=%s -count=%d",
+		a.Name, a.Packages, a.Pattern, a.Benchtime, r.Count)
+	samples, err := r.runOnce(a, r.Count)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("benchjson: area %s matched no benchmarks (pattern %s in %v)",
+			a.Name, a.Pattern, a.Packages)
+	}
+	for retry := 0; retry < r.Retries && r.noisy(samples); retry++ {
+		r.logf("area %s: spread above %.0f%%, adding %d more runs",
+			a.Name, r.MaxSpread*100, r.Count)
+		more, err := r.runOnce(a, r.Count)
+		if err != nil {
+			return nil, err
+		}
+		for name, ss := range more {
+			samples[name] = append(samples[name], ss...)
+		}
+	}
+	doc := NewDoc(a, r.Count)
+	doc.Benchmarks = Reduce(samples)
+	return doc, nil
+}
+
+// noisy reports whether any benchmark's ns/op dispersion trips the guard.
+func (r *Runner) noisy(samples map[string][]sample) bool {
+	for _, ss := range samples {
+		var ns []float64
+		for _, s := range ss {
+			if v, ok := s.metrics["ns/op"]; ok {
+				ns = append(ns, v)
+			}
+		}
+		if spread(ns) > r.MaxSpread {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAreas measures every named area (nil = all canonical areas).
+func (r *Runner) RunAreas(names []string) ([]*Doc, error) {
+	areas := Areas()
+	if len(names) > 0 {
+		areas = areas[:0:0]
+		for _, name := range names {
+			a, ok := AreaByName(name)
+			if !ok {
+				return nil, fmt.Errorf("benchjson: unknown area %q", name)
+			}
+			areas = append(areas, a)
+		}
+	}
+	docs := make([]*Doc, 0, len(areas))
+	for _, a := range areas {
+		d, err := r.RunArea(a)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}

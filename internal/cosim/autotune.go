@@ -1,0 +1,124 @@
+package cosim
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/transport"
+)
+
+// Auto-tuning closes the loop between the executed pipeline's measured
+// metrics and its configuration. A fixed platform ships one QueueDepth /
+// PacketBytes pair for every DUT and workload; AutoTune instead runs the
+// same co-simulation for a few short rounds, feeds each round's
+// pipeline.Metrics into the AIMD controller (pipeline.Tuner), and reports
+// the best-scoring settings. Round zero always measures the fixed platform
+// constants, so the reported best is never worse than the configuration it
+// replaces.
+
+// TuneRound records one auto-tuning round: the knobs it ran with, the run's
+// result, the achieved score (instrs/s of executed wall clock), and the
+// controller's decision for the next round.
+type TuneRound struct {
+	Knobs    pipeline.Knobs
+	Result   *Result
+	Score    float64 // instrs/s over executed wall clock
+	Decision pipeline.Decision
+}
+
+// AutoTuneReport is one configuration's tuning trajectory.
+type AutoTuneReport struct {
+	Config   string
+	Platform string
+	Rounds   []TuneRound
+	// Best is the highest-scoring knobs observed, BestScore its instrs/s,
+	// and BestRound the round that produced it (0 = the fixed constants).
+	Best      pipeline.Knobs
+	BestScore float64
+	BestRound int
+}
+
+// FixedKnobs returns the round-0 settings (the platform constants).
+func (t *AutoTuneReport) FixedKnobs() pipeline.Knobs { return t.Rounds[0].Knobs }
+
+// FixedScore returns the fixed-constant round's instrs/s.
+func (t *AutoTuneReport) FixedScore() float64 { return t.Rounds[0].Score }
+
+// Gain returns BestScore / FixedScore; ≥ 1 by construction (round 0 is a
+// candidate for best).
+func (t *AutoTuneReport) Gain() float64 {
+	if t.FixedScore() == 0 {
+		return 0
+	}
+	return t.BestScore / t.FixedScore()
+}
+
+// AutoTune runs one configuration through `rounds` executed co-simulations
+// (rounds < 1 = 4), steering QueueDepth, PacketBytes, and the requested
+// token window with the AIMD controller between rounds. The workload must
+// verify cleanly — tuning measures throughput, and a mismatch stops a run
+// early, which would poison the score.
+func AutoTune(p Params, rounds int) (*AutoTuneReport, error) {
+	if rounds < 1 {
+		rounds = 4
+	}
+	p.Opt.Executed = true
+
+	fixed := pipeline.Knobs{
+		QueueDepth:  p.Platform.QueueDepth,
+		PacketBytes: p.Platform.PacketBytes,
+		Window:      transport.DefaultWindow,
+	}
+	tn := pipeline.NewTuner(fixed, pipeline.DefaultLimits())
+	rep := &AutoTuneReport{Config: p.Opt.Name(), Platform: p.Platform.Name}
+
+	for i := 0; i < rounds; i++ {
+		k := tn.Knobs()
+		p.Tuning = &k
+		res, err := Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("cosim: autotune round %d (%s): %w", i, k, err)
+		}
+		if res.Mismatch != nil {
+			return nil, fmt.Errorf("cosim: autotune round %d: workload mismatched (%v) — tune with a clean workload", i, res.Mismatch)
+		}
+		if res.Exec == nil || res.Exec.Wall <= 0 {
+			return nil, fmt.Errorf("cosim: autotune round %d: no executed metrics", i)
+		}
+		score := float64(res.Instrs) / res.Exec.Wall.Seconds()
+		d := tn.Observe(pipeline.SignalFrom(res.Exec, score))
+		rep.Rounds = append(rep.Rounds, TuneRound{Knobs: k, Result: res, Score: score, Decision: d})
+	}
+	rep.Best, rep.BestScore, rep.BestRound = tn.Best()
+	return rep, nil
+}
+
+// TunedConfigNames lists the configurations worth tuning: the blocking
+// baseline Z has no queue or packet to steer.
+func TunedConfigNames() []string { return []string{"EB", "EBIN", "EBINSD"} }
+
+// AutoTuneSweep tunes every named configuration (nil = TunedConfigNames)
+// with the same budget, for the before/after comparison table.
+func AutoTuneSweep(p Params, rounds int, configs []string) ([]*AutoTuneReport, error) {
+	if len(configs) == 0 {
+		configs = TunedConfigNames()
+	}
+	var reps []*AutoTuneReport
+	for _, name := range configs {
+		opt, err := ParseConfig(name)
+		if err != nil {
+			return nil, err
+		}
+		opt.CoupleOrder = p.Opt.CoupleOrder
+		opt.FixedOffset = p.Opt.FixedOffset
+		opt.MaxFuse = p.Opt.MaxFuse
+		sp := p
+		sp.Opt = opt
+		rep, err := AutoTune(sp, rounds)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}

@@ -1,0 +1,99 @@
+package cosim
+
+import (
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/pipeline"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// TestAutoTuneTunedNotWorseThanFixed is the acceptance gate for the tuner
+// wiring: round 0 measures the fixed platform constants, so the reported
+// best settings can never score below them.
+func TestAutoTuneTunedNotWorseThanFixed(t *testing.T) {
+	p := executedParams("EBIN", true)
+	p.Workload = scaled(workload.LinuxBoot(), 8_000)
+	rep, err := AutoTune(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 3 {
+		t.Fatalf("ran %d rounds, want 3", len(rep.Rounds))
+	}
+	fixed := rep.FixedKnobs()
+	if fixed.QueueDepth != p.Platform.QueueDepth || fixed.PacketBytes != p.Platform.PacketBytes {
+		t.Fatalf("round 0 knobs %s are not the platform constants (%d/%d)",
+			fixed, p.Platform.QueueDepth, p.Platform.PacketBytes)
+	}
+	if rep.BestScore < rep.FixedScore() || rep.Gain() < 1 {
+		t.Fatalf("best %.0f instrs/s (round %d) below fixed %.0f — the round-0 guarantee broke",
+			rep.BestScore, rep.BestRound, rep.FixedScore())
+	}
+	for i, r := range rep.Rounds {
+		if r.Result == nil || r.Score <= 0 {
+			t.Fatalf("round %d has no score: %+v", i, r)
+		}
+		if r.Decision.Reason == "" {
+			t.Fatalf("round %d decision has no reason", i)
+		}
+	}
+}
+
+// TestAutoTuneSweepRemote drives the tuner over the networked path: every
+// configuration against one loopback server, the token window steered per
+// round via Hello.WindowRequest.
+func TestAutoTuneSweepRemote(t *testing.T) {
+	_, spec := startLoopbackServer(t, transport.ServerConfig{Window: 64})
+	p := remoteParams("EB", spec)
+	p.Workload = scaled(workload.LinuxBoot(), 5_000)
+	reps, err := AutoTuneSweep(p, 2, []string{"EB", "EBINSD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].Config != "EB" || reps[1].Config != "EBINSD" {
+		t.Fatalf("sweep configs wrong: %+v", reps)
+	}
+	for _, rep := range reps {
+		if rep.Gain() < 1 {
+			t.Fatalf("%s tuned below fixed: %+v", rep.Config, rep)
+		}
+	}
+}
+
+// TestAutoTuneRejectsMismatch: a buggy DUT stops runs early, which would
+// poison throughput scores, so the tuner refuses.
+func TestAutoTuneRejectsMismatch(t *testing.T) {
+	b, ok := bugs.ByID("store-byte-drop")
+	if !ok {
+		t.Fatal("bug library lost store-byte-drop")
+	}
+	p := executedParams("EBINSD", true)
+	p.Workload = scaled(workload.LinuxBoot(), 40_000)
+	p.Seed = 3
+	p.Hooks = b.Hooks(0)
+	if _, err := AutoTune(p, 1); err == nil {
+		t.Fatal("autotune accepted a mismatching workload")
+	}
+}
+
+// TestTuningOverridesPlatform: Params.Tuning must replace the platform's
+// fixed constants for the run.
+func TestTuningOverridesPlatform(t *testing.T) {
+	p := executedParams("EBIN", true)
+	p.Workload = scaled(workload.LinuxBoot(), 4_000)
+	// A queue bound of 1 forces near-lockstep pipelining; the run must still
+	// verify cleanly and report the tightened queue in its metrics.
+	p.Tuning = &pipeline.Knobs{QueueDepth: 1, PacketBytes: 2048}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatch != nil {
+		t.Fatalf("mismatch under tuned knobs: %v", res.Mismatch)
+	}
+	if res.Exec.QueuePeak > 1 {
+		t.Fatalf("queue peak %d with QueueDepth tuned to 1", res.Exec.QueuePeak)
+	}
+}

@@ -22,7 +22,7 @@ import (
 
 // helloFor builds the session handshake from run parameters.
 func (r *runner) helloFor() transport.Hello {
-	return transport.Hello{
+	h := transport.Hello{
 		DUT:          r.p.DUT.Name,
 		Platform:     r.p.Platform.Name,
 		Config:       r.opt.Name(),
@@ -33,6 +33,10 @@ func (r *runner) helloFor() transport.Hello {
 		TargetInstrs: r.p.Workload.TargetInstrs,
 		Seed:         r.p.Seed,
 	}
+	if r.p.Tuning != nil {
+		h.WindowRequest = r.p.Tuning.Window
+	}
+	return h
 }
 
 // loopRemote drives the concurrent pipeline with the networked consumer:

@@ -16,8 +16,9 @@ import (
 
 // startLoopbackServer runs a difftestd-equivalent server (the production
 // cosim.NewSession wired into transport.Server) on a Unix socket in the
-// test's temp dir, returning the server and its dial spec.
-func startLoopbackServer(t *testing.T, cfg transport.ServerConfig) (*transport.Server, string) {
+// test's temp dir, returning the server and its dial spec. testing.TB so
+// the remote loopback benchmarks share it.
+func startLoopbackServer(t testing.TB, cfg transport.ServerConfig) (*transport.Server, string) {
 	t.Helper()
 	cfg.NewSession = NewSession
 	srv := transport.NewServer(cfg)

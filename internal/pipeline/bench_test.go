@@ -1,0 +1,43 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+// benchPipeline measures the three-stage pipeline's raw transfer overhead
+// with no-op stages: what Run itself costs per transfer in each handshake
+// mode, before any codec or checker work. benchjson's pipeline area tracks
+// both modes so a scheduling regression in the stage plumbing is visible
+// even when the heavier executed benchmarks hide it.
+func benchPipeline(b *testing.B, nonBlocking bool) {
+	const transfers = 4096
+	cfg := Config{NonBlocking: nonBlocking, QueueDepth: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		next := func() (int, bool, error) {
+			if n >= transfers {
+				return 0, false, nil
+			}
+			n++
+			return n, true, nil
+		}
+		got := 0
+		sink := func(int) (bool, error) {
+			got++
+			return false, nil
+		}
+		m, err := Run(next, sink, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != transfers || m.Transfers != transfers {
+			b.Fatalf("consumed %d transfers (metrics %d), want %d", got, m.Transfers, transfers)
+		}
+	}
+	b.ReportMetric(float64(transfers)*float64(b.N)/b.Elapsed().Seconds(), "transfers/s")
+}
+
+func BenchmarkPipelineBlocking(b *testing.B)    { benchPipeline(b, false) }
+func BenchmarkPipelineNonBlocking(b *testing.B) { benchPipeline(b, true) }

@@ -1,0 +1,213 @@
+package pipeline
+
+import "fmt"
+
+// Tuner closes the loop between the measured pipeline and its configuration:
+// instead of fixed per-platform constants (platform.Palladium's QueueDepth 16
+// / PacketBytes 4096, FPGA's 64 / 16384), an additive-increase / halving
+// controller adjusts the in-flight queue depth, the batch packet size, and
+// the requested token window between rounds, driven by the same Metrics the
+// executed pipeline already measures.
+//
+// The controller reads one signal per round:
+//
+//   - stall rate — (Backpressure + TokenStalls) / Transfers. Backpressure is
+//     the local in-flight queue filling, TokenStalls the server credit window
+//     running dry; both mean the producer waited.
+//   - queue occupancy — QueuePeak and MeanQueueDepth say whether the bound
+//     was ever approached.
+//
+// and applies classic AIMD with a hysteresis band:
+//
+//   - stall rate above StallHigh: the pipeline is starved for buffering —
+//     grow additively (QueueDepth += QueueStep, Window += WindowStep) and
+//     double PacketBytes so per-frame overhead amortizes over more events.
+//   - stall rate below StallLow with the queue never half full: the bounds
+//     are oversized for the workload — halve all three knobs toward their
+//     minimums, reclaiming latency and memory.
+//   - anything between, or a full-but-not-stalling queue: hold. The gap
+//     between StallLow and StallHigh is what keeps a steady workload from
+//     oscillating.
+//
+// Every round's score (instructions per second, but any higher-is-better
+// figure works) is recorded against the knobs that produced it, and Best
+// returns the highest-scoring settings seen. Callers measure the fixed
+// platform constants as round zero, so Best never returns settings worse
+// than the fixed configuration it replaces.
+type Tuner struct {
+	limits  Limits
+	cur     Knobs
+	best    Knobs
+	bestAt  int
+	bestSc  float64
+	scored  bool
+	rounds  []Decision
+	stallHi float64
+	stallLo float64
+}
+
+// Knobs are the tunable pipeline settings one round runs with.
+type Knobs struct {
+	// QueueDepth bounds in-flight transfers (Config.QueueDepth).
+	QueueDepth int
+	// PacketBytes is the batch packet capacity handed to the packers.
+	PacketBytes int
+	// Window is the token window the client requests from the server
+	// (0 = accept the server's default; local runs ignore it).
+	Window int
+}
+
+func (k Knobs) String() string {
+	return fmt.Sprintf("queue=%d packet=%dB window=%d", k.QueueDepth, k.PacketBytes, k.Window)
+}
+
+// Limits clamp the tuner's movement and size its additive steps.
+type Limits struct {
+	MinQueueDepth, MaxQueueDepth   int
+	MinPacketBytes, MaxPacketBytes int
+	MinWindow, MaxWindow           int
+	// QueueStep and WindowStep are the additive-increase increments.
+	QueueStep, WindowStep int
+}
+
+// DefaultLimits spans the fixed platform constants (Palladium queue 16 /
+// packet 4096, FPGA queue 64 / packet 16384) with room on both sides.
+func DefaultLimits() Limits {
+	return Limits{
+		MinQueueDepth: 2, MaxQueueDepth: 256,
+		MinPacketBytes: 1024, MaxPacketBytes: 1 << 17,
+		MinWindow: 2, MaxWindow: 256,
+		QueueStep: 8, WindowStep: 8,
+	}
+}
+
+// Signal is one round's measurement, taken from the pipeline Metrics of the
+// run that used the tuner's current knobs.
+type Signal struct {
+	Transfers    uint64
+	Backpressure uint64
+	TokenStalls  uint64
+	QueuePeak    int
+	MeanQueue    float64
+	// Score is the round's figure of merit (instrs/s); higher is better.
+	Score float64
+}
+
+// SignalFrom extracts the tuner's inputs from a pipeline run's metrics.
+func SignalFrom(m *Metrics, score float64) Signal {
+	return Signal{
+		Transfers:    m.Transfers,
+		Backpressure: m.Backpressure,
+		TokenStalls:  m.TokenStalls,
+		QueuePeak:    m.QueuePeak,
+		MeanQueue:    m.MeanQueueDepth(),
+		Score:        score,
+	}
+}
+
+// StallRate is the fraction of transfers that waited for buffering.
+func (s Signal) StallRate() float64 {
+	if s.Transfers == 0 {
+		return 0
+	}
+	return float64(s.Backpressure+s.TokenStalls) / float64(s.Transfers)
+}
+
+// Decision records one controller step for reporting: the signal observed,
+// the knobs chosen for the next round, and why.
+type Decision struct {
+	Round     int
+	Observed  Signal
+	StallRate float64
+	Next      Knobs
+	Reason    string // "grow", "shrink", or "hold"
+}
+
+func (d Decision) String() string {
+	return fmt.Sprintf("round %d: stall %.1f%% peak %d -> %s (%s)",
+		d.Round, d.StallRate*100, d.Observed.QueuePeak, d.Next, d.Reason)
+}
+
+// NewTuner starts a controller at the given knobs (normally the fixed
+// platform constants, so round zero measures the status quo).
+func NewTuner(initial Knobs, lim Limits) *Tuner {
+	t := &Tuner{limits: lim, cur: initial, best: initial, stallHi: 0.05, stallLo: 0.01}
+	t.cur = t.clamp(t.cur)
+	t.best = t.cur
+	return t
+}
+
+// SetBand overrides the hysteresis band (defaults 0.01..0.05). low must be
+// below high; values outside (0,1) keep the defaults.
+func (t *Tuner) SetBand(low, high float64) {
+	if low > 0 && high < 1 && low < high {
+		t.stallLo, t.stallHi = low, high
+	}
+}
+
+// Knobs returns the settings the next round should run with.
+func (t *Tuner) Knobs() Knobs { return t.cur }
+
+// Observe feeds one round's signal to the controller. It records the score
+// against the knobs that produced it, steps the knobs for the next round,
+// and returns the decision.
+func (t *Tuner) Observe(sig Signal) Decision {
+	if sig.Score > t.bestSc || !t.scored {
+		t.bestSc, t.best, t.bestAt = sig.Score, t.cur, len(t.rounds)
+		t.scored = true
+	}
+
+	stall := sig.StallRate()
+	next := t.cur
+	reason := "hold"
+	switch {
+	case stall > t.stallHi:
+		// Starved: additive increase, packet doubling.
+		next.QueueDepth += t.limits.QueueStep
+		next.Window += t.limits.WindowStep
+		next.PacketBytes *= 2
+		reason = "grow"
+	case stall < t.stallLo && sig.QueuePeak*2 <= t.cur.QueueDepth:
+		// Idle bound: halve toward the minimums.
+		next.QueueDepth /= 2
+		next.Window /= 2
+		next.PacketBytes /= 2
+		reason = "shrink"
+	}
+	next = t.clamp(next)
+	if next == t.cur {
+		reason = "hold" // clamped into place counts as holding
+	}
+
+	d := Decision{
+		Round: len(t.rounds), Observed: sig, StallRate: stall,
+		Next: next, Reason: reason,
+	}
+	t.rounds = append(t.rounds, d)
+	t.cur = next
+	return d
+}
+
+// clamp bounds the knobs to the limits.
+func (t *Tuner) clamp(k Knobs) Knobs {
+	clampInt := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if hi > 0 && v > hi {
+			return hi
+		}
+		return v
+	}
+	k.QueueDepth = clampInt(k.QueueDepth, t.limits.MinQueueDepth, t.limits.MaxQueueDepth)
+	k.PacketBytes = clampInt(k.PacketBytes, t.limits.MinPacketBytes, t.limits.MaxPacketBytes)
+	k.Window = clampInt(k.Window, t.limits.MinWindow, t.limits.MaxWindow)
+	return k
+}
+
+// Best returns the highest-scoring knobs observed, their score, and the
+// round that produced them. Before any Observe it returns the initial knobs.
+func (t *Tuner) Best() (Knobs, float64, int) { return t.best, t.bestSc, t.bestAt }
+
+// Decisions returns every controller step taken so far, oldest first.
+func (t *Tuner) Decisions() []Decision { return t.rounds }

@@ -1,0 +1,167 @@
+package pipeline
+
+import "testing"
+
+func tunerLimits() Limits {
+	return Limits{
+		MinQueueDepth: 2, MaxQueueDepth: 64,
+		MinPacketBytes: 1024, MaxPacketBytes: 32768,
+		MinWindow: 2, MaxWindow: 64,
+		QueueStep: 8, WindowStep: 8,
+	}
+}
+
+// stalledSignal models a starved pipeline: heavy backpressure, queue pinned
+// at its bound.
+func stalledSignal(k Knobs, score float64) Signal {
+	return Signal{
+		Transfers: 1000, Backpressure: 200, TokenStalls: 50,
+		QueuePeak: k.QueueDepth, MeanQueue: float64(k.QueueDepth) * 0.9,
+		Score: score,
+	}
+}
+
+// steadySignal models a balanced pipeline: a whiff of backpressure inside
+// the hysteresis band, queue occupied but not saturated.
+func steadySignal(k Knobs, score float64) Signal {
+	return Signal{
+		Transfers: 1000, Backpressure: 20, TokenStalls: 0,
+		QueuePeak: k.QueueDepth - 1, MeanQueue: float64(k.QueueDepth) / 2,
+		Score: score,
+	}
+}
+
+func TestTunerGrowsUnderStall(t *testing.T) {
+	start := Knobs{QueueDepth: 16, PacketBytes: 4096, Window: 16}
+	tn := NewTuner(start, tunerLimits())
+	d := tn.Observe(stalledSignal(start, 100))
+	if d.Reason != "grow" {
+		t.Fatalf("stalled round decided %q, want grow: %s", d.Reason, d)
+	}
+	k := tn.Knobs()
+	if k.QueueDepth != 24 || k.Window != 24 || k.PacketBytes != 8192 {
+		t.Fatalf("grow step wrong: %s", k)
+	}
+}
+
+func TestTunerConvergesUnderPersistentStall(t *testing.T) {
+	// A workload that stalls at every setting drives the knobs to their
+	// maximums and then holds — the clamp must stop the climb, not wrap or
+	// oscillate.
+	lim := tunerLimits()
+	tn := NewTuner(Knobs{QueueDepth: 16, PacketBytes: 4096, Window: 16}, lim)
+	for i := 0; i < 20; i++ {
+		tn.Observe(stalledSignal(tn.Knobs(), 100+float64(i)))
+	}
+	k := tn.Knobs()
+	if k.QueueDepth != lim.MaxQueueDepth || k.Window != lim.MaxWindow || k.PacketBytes != lim.MaxPacketBytes {
+		t.Fatalf("did not converge to the limits: %s", k)
+	}
+	last := tn.Decisions()[len(tn.Decisions())-1]
+	if last.Reason != "hold" {
+		t.Fatalf("at the limits the tuner still claims %q", last.Reason)
+	}
+}
+
+func TestTunerShrinksIdleBound(t *testing.T) {
+	tn := NewTuner(Knobs{QueueDepth: 64, PacketBytes: 32768, Window: 64}, tunerLimits())
+	idle := Signal{Transfers: 1000, QueuePeak: 3, MeanQueue: 1.5, Score: 100}
+	d := tn.Observe(idle)
+	if d.Reason != "shrink" {
+		t.Fatalf("idle round decided %q, want shrink: %s", d.Reason, d)
+	}
+	k := tn.Knobs()
+	if k.QueueDepth != 32 || k.Window != 32 || k.PacketBytes != 16384 {
+		t.Fatalf("shrink step wrong: %s", k)
+	}
+	// Persistent idleness bottoms out at the minimums without oscillating.
+	for i := 0; i < 20; i++ {
+		tn.Observe(Signal{Transfers: 1000, QueuePeak: 1, Score: 100})
+	}
+	k = tn.Knobs()
+	lim := tunerLimits()
+	if k.QueueDepth != lim.MinQueueDepth || k.Window != lim.MinWindow || k.PacketBytes != lim.MinPacketBytes {
+		t.Fatalf("did not settle at the minimums: %s", k)
+	}
+}
+
+func TestTunerHoldsSteadyWorkload(t *testing.T) {
+	start := Knobs{QueueDepth: 16, PacketBytes: 4096, Window: 16}
+	tn := NewTuner(start, tunerLimits())
+	for i := 0; i < 10; i++ {
+		d := tn.Observe(steadySignal(tn.Knobs(), 100))
+		if d.Reason != "hold" {
+			t.Fatalf("round %d moved (%s) on a steady workload", i, d)
+		}
+	}
+	if tn.Knobs() != start {
+		t.Fatalf("steady workload drifted the knobs: %s", tn.Knobs())
+	}
+}
+
+func TestTunerBestTracksHighestScore(t *testing.T) {
+	start := Knobs{QueueDepth: 16, PacketBytes: 4096, Window: 16}
+	tn := NewTuner(start, tunerLimits())
+
+	// Round 0 measures the fixed constants; later rounds score worse, so
+	// Best must keep the round-0 settings — the tuned-≥-fixed guarantee.
+	tn.Observe(stalledSignal(start, 500))
+	tn.Observe(stalledSignal(tn.Knobs(), 400))
+	tn.Observe(stalledSignal(tn.Knobs(), 300))
+	best, score, round := tn.Best()
+	if best != start || score != 500 || round != 0 {
+		t.Fatalf("best = %s score %.0f round %d, want the round-0 constants", best, score, round)
+	}
+
+	// A later improvement takes over.
+	tn.Observe(stalledSignal(tn.Knobs(), 900))
+	_, score, round = tn.Best()
+	if score != 900 || round != 3 {
+		t.Fatalf("best score %.0f round %d, want 900 at round 3", score, round)
+	}
+}
+
+func TestTunerClampsInitialKnobs(t *testing.T) {
+	tn := NewTuner(Knobs{QueueDepth: 1000, PacketBytes: 1, Window: 0}, tunerLimits())
+	k := tn.Knobs()
+	if k.QueueDepth != 64 || k.PacketBytes != 1024 || k.Window != 2 {
+		t.Fatalf("initial knobs not clamped: %s", k)
+	}
+}
+
+func TestSignalFrom(t *testing.T) {
+	m := &Metrics{Transfers: 100, Backpressure: 5, TokenStalls: 5, QueuePeak: 7}
+	m.queueDepthSum = 300
+	s := SignalFrom(m, 42)
+	if s.StallRate() != 0.1 {
+		t.Fatalf("stall rate %.3f, want 0.1", s.StallRate())
+	}
+	if s.QueuePeak != 7 || s.MeanQueue != 3 || s.Score != 42 {
+		t.Fatalf("signal lost fields: %+v", s)
+	}
+	if (Signal{}).StallRate() != 0 {
+		t.Fatal("zero-transfer stall rate not zero")
+	}
+}
+
+func TestTunerSetBand(t *testing.T) {
+	tn := NewTuner(Knobs{QueueDepth: 16, PacketBytes: 4096, Window: 16}, tunerLimits())
+	tn.SetBand(0.2, 0.5)
+	// 25% stall rate now sits inside the widened band: hold, not grow.
+	d := tn.Observe(Signal{Transfers: 100, Backpressure: 25, QueuePeak: 15, Score: 1})
+	if d.Reason != "hold" {
+		t.Fatalf("widened band ignored: %s", d)
+	}
+	tn.SetBand(0.5, 0.2) // invalid, keeps previous band
+	if tn.stallLo != 0.2 || tn.stallHi != 0.5 {
+		t.Fatalf("invalid band applied: %v..%v", tn.stallLo, tn.stallHi)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	tn := NewTuner(Knobs{QueueDepth: 16, PacketBytes: 4096, Window: 16}, tunerLimits())
+	d := tn.Observe(stalledSignal(tn.Knobs(), 1))
+	if d.String() == "" || d.Next.String() == "" {
+		t.Fatal("empty decision rendering")
+	}
+}

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// BenchmarkFrameRoundTrip measures one full frame round trip — encode,
+// checksum, write, read, checksum-verify, echo back — over an in-memory
+// connection pair. This is the per-frame floor of every remote session:
+// everything difftestd adds (decode, check, credit) sits on top of it.
+// benchjson's transport area tracks it in BENCH_transport.json.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	cp, sp := net.Pipe()
+	client, server := NewConn(cp), NewConn(sp)
+	defer client.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer server.Close()
+		for {
+			h, buf, err := server.ReadFrame()
+			if err != nil {
+				return // client closed after the timed loop
+			}
+			err = server.WriteFrame(h.Type, buf)
+			if buf != nil {
+				event.PutBuf(buf)
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	payload := make([]byte, 4096) // Palladium's PacketBytes
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(2 * (FrameHeaderSize + len(payload)))) // both directions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.WriteFrame(FramePacket, payload); err != nil {
+			b.Fatal(err)
+		}
+		_, buf, err := client.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(buf) != len(payload) {
+			b.Fatalf("echo returned %d bytes, want %d", len(buf), len(payload))
+		}
+		event.PutBuf(buf)
+	}
+	b.StopTimer()
+	client.Close()
+	<-done
+}
+
+// BenchmarkFrameHeaderSum isolates the CRC32-C checksum over a header plus a
+// packet-sized payload — the only per-byte work the framing layer adds.
+func BenchmarkFrameHeaderSum(b *testing.B) {
+	h := FrameHeader{Magic: FrameMagic, Type: FramePacket, Length: 4096, Seq: 42}
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	b.SetBytes(int64(frameCheckOffset + len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum uint32
+	for i := 0; i < b.N; i++ {
+		sum = h.Sum(payload)
+	}
+	b.StopTimer()
+	if sum == 0 {
+		b.Log("checksum happened to be zero") // keep sum live
+	}
+}

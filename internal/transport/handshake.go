@@ -29,6 +29,13 @@ type Hello struct {
 	Workload     string `json:"workload"`
 	TargetInstrs uint64 `json:"target_instrs"`
 	Seed         int64  `json:"seed"`
+
+	// WindowRequest, when positive, asks for at most this many tokens
+	// instead of the server's configured window; the server grants
+	// min(ServerConfig.Window, WindowRequest). The auto-tuner uses it to
+	// steer the credit window from the client side without reconfiguring
+	// the server. Zero keeps the server's default.
+	WindowRequest int `json:"window_request,omitempty"`
 }
 
 // Welcome is the server's session grant: the negotiated protocol, the

@@ -17,6 +17,7 @@ GO="${GO:-go}"
 FLOORS='
 repro/internal/transport 85
 repro/internal/faultnet 85
+repro/internal/benchjson 85
 '
 
 tmp="$(mktemp -d)"
