@@ -55,6 +55,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=10s -run='^$$' ./internal/transport
 	$(GO) test -fuzz=FuzzResumeFrame -fuzztime=10s -run='^$$' ./internal/transport
 	$(GO) test -fuzz=FuzzFaultedFrameStream -fuzztime=10s -run='^$$' ./internal/transport
+	$(GO) test -fuzz=FuzzShmRingFrame -fuzztime=10s -run='^$$' ./internal/transport/shmring
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

@@ -8,6 +8,9 @@
 //	difftest -bug load-sign-extension -config EBINSD   # inject and detect a bug
 //	difftest -executed                                 # modeled vs executed pipeline
 //	difftest -remote unix:/tmp/difftestd.sock          # check on a difftestd server
+//	difftest -remote shm:///dev/shm/difftest           # same host, shared-memory ring
+//	difftest -transport shm -remote /dev/shm/difftest  # same, platform-sized rings
+//	difftest -executed -shm                            # comparison incl. in-process shm row
 //	difftest -list                                     # show available options
 //
 // SIGINT/SIGTERM cancel the run cooperatively: the co-simulation loop drains
@@ -48,7 +51,11 @@ func main() {
 		executed = flag.Bool("executed", false,
 			"run every configuration through both the analytic model and the executed concurrent pipeline and report speedup deltas")
 		remote = flag.String("remote", "",
-			"stream the hardware side to a difftestd server at this address (host:port or unix:<path>); with -executed, adds a networked column to the comparison")
+			"stream the hardware side to a difftestd server at this address (tcp://host:port, unix:///path, shm:///dir, or the legacy host:port / unix:<path> forms); with -executed, adds a networked column to the comparison")
+		transportName = flag.String("transport", "",
+			"force the -remote transport scheme (tcp, unix, shm): the -remote value is taken as a bare address — host:port for tcp, a path for unix, a rendezvous directory for shm; shm sizes its rings from the platform operating point")
+		shm = flag.Bool("shm", false,
+			"with -executed: run each configuration a further time against an in-process difftestd over the shared-memory ring transport, adding Shm wall/speedup/ring-parks columns to the comparison")
 		resume = flag.Bool("resume", false,
 			"with -remote: resume the session over reconnects instead of failing on the first connection loss (needs difftestd -resume-window)")
 		retries = flag.Int("retries", 0,
@@ -99,6 +106,12 @@ func main() {
 		fmt.Printf("injecting %s (%s): %s\n", b.ID, b.PR, b.Description)
 	}
 
+	remoteSpec, err := resolveRemoteSpec(*remote, *transportName, p)
+	exitOn(err)
+	if *shm && !*executed {
+		exitOn(fmt.Errorf("-shm extends the -executed comparison; add -executed (or point -remote at a difftestd listening on shm://...)"))
+	}
+
 	remoteCfg := transport.ClientConfig{
 		Resume:       *resume,
 		MaxRetries:   *retries,
@@ -110,7 +123,7 @@ func main() {
 	if *executed {
 		cmp, err := cosim.CompareModes(cosim.Params{
 			DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed, Hooks: hooks,
-			Ctx: ctx, RemoteAddr: *remote, RemoteCfg: remoteCfg,
+			Ctx: ctx, RemoteAddr: remoteSpec, RemoteCfg: remoteCfg, ShmLoopback: *shm,
 		}, freshHooks)
 		exitOn(err)
 		printComparison(cmp)
@@ -120,7 +133,7 @@ func main() {
 			}
 			reps, err := cosim.AutoTuneSweep(cosim.Params{
 				DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed,
-				Ctx: ctx, RemoteAddr: *remote, RemoteCfg: remoteCfg,
+				Ctx: ctx, RemoteAddr: remoteSpec, RemoteCfg: remoteCfg,
 			}, *tuneRounds, nil)
 			exitOn(err)
 			fmt.Println()
@@ -128,7 +141,8 @@ func main() {
 		}
 		for _, row := range cmp.Rows {
 			if row.Modeled.Mismatch != nil || row.Executed.Mismatch != nil ||
-				(row.Remote != nil && row.Remote.Mismatch != nil) {
+				(row.Remote != nil && row.Remote.Mismatch != nil) ||
+				(row.Shm != nil && row.Shm.Mismatch != nil) {
 				os.Exit(2)
 			}
 		}
@@ -141,7 +155,7 @@ func main() {
 		}
 		rep, err := cosim.AutoTune(cosim.Params{
 			DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed,
-			Ctx: ctx, RemoteAddr: *remote, RemoteCfg: remoteCfg,
+			Ctx: ctx, RemoteAddr: remoteSpec, RemoteCfg: remoteCfg,
 		}, *tuneRounds)
 		exitOn(err)
 		printAutotune([]*cosim.AutoTuneReport{rep}, true)
@@ -150,7 +164,7 @@ func main() {
 
 	res, err := cosim.Run(cosim.Params{
 		DUT: d, Platform: p, Opt: o, Workload: wl, Seed: *seed, Hooks: hooks,
-		Ctx: ctx, RemoteAddr: *remote, RemoteCfg: remoteCfg,
+		Ctx: ctx, RemoteAddr: remoteSpec, RemoteCfg: remoteCfg,
 	})
 	exitOn(err)
 
@@ -177,6 +191,10 @@ func main() {
 	if *remote != "" && res.Exec != nil {
 		fmt.Printf("remote: wall %s, backpressure %d, token stalls %d\n",
 			res.Exec.Wall.Round(time.Microsecond), res.Exec.Backpressure, res.Exec.TokenStalls)
+		if res.Exec.RingParks > 0 {
+			fmt.Printf("remote link: %d ring park(s) (shared-memory spin budget exhaustions)\n",
+				res.Exec.RingParks)
+		}
 		if res.Exec.Reconnects > 0 || res.Exec.ReplayedFrames > 0 || res.Degraded {
 			fmt.Printf("remote link: %d reconnect(s), %d replayed frame(s), degraded=%v\n",
 				res.Exec.Reconnects, res.Exec.ReplayedFrames, res.Degraded)
@@ -185,6 +203,29 @@ func main() {
 	if res.Mismatch != nil {
 		os.Exit(2)
 	}
+}
+
+// resolveRemoteSpec folds the -transport override into the -remote address:
+// with -transport set, the -remote value is a bare address the scheme is
+// prefixed onto, and an shm spec with no explicit ?ring= option inherits the
+// platform operating point's ring size.
+func resolveRemoteSpec(remote, scheme string, p platform.Platform) (string, error) {
+	if scheme == "" {
+		return remote, nil
+	}
+	if remote == "" {
+		return "", fmt.Errorf("-transport %s needs -remote with an address", scheme)
+	}
+	switch scheme {
+	case "tcp", "unix", "shm":
+	default:
+		return "", fmt.Errorf("unknown -transport %q (tcp, unix, shm)", scheme)
+	}
+	spec := scheme + "://" + remote
+	if scheme == "shm" && !strings.Contains(remote, "?ring=") && p.ShmRingBytes > 0 {
+		spec = fmt.Sprintf("%s?ring=%d", spec, p.ShmRingBytes)
+	}
+	return spec, nil
 }
 
 func pickDUT(name string) (dut.Config, error) {
@@ -222,15 +263,24 @@ func pickPlatform(name string, threads int) (platform.Platform, error) {
 // networked analogue of local backpressure).
 func printComparison(cmp *cosim.ModeComparison) {
 	remote := len(cmp.Rows) > 0 && cmp.Rows[0].Remote != nil
-	if remote {
+	shm := len(cmp.Rows) > 0 && cmp.Rows[0].Shm != nil
+	switch {
+	case remote && shm:
+		fmt.Println("Modeled (analytic) vs executed (concurrent pipeline) vs remote (difftestd) vs shm (shared-memory ring):")
+	case remote:
 		fmt.Println("Modeled (analytic) vs executed (concurrent pipeline) vs remote (difftestd):")
-	} else {
+	case shm:
+		fmt.Println("Modeled (analytic) vs executed (concurrent pipeline) vs shm (shared-memory ring):")
+	default:
 		fmt.Println("Modeled (analytic) vs executed (concurrent pipeline):")
 	}
 	header := []string{"Config", "Modeled speed", "Modeled speedup",
 		"Executed wall", "Executed speedup", "Overlap", "Backpressure"}
 	if remote {
 		header = append(header, "Remote wall", "Remote speedup", "Token stalls")
+	}
+	if shm {
+		header = append(header, "Shm wall", "Shm speedup", "Ring parks")
 	}
 	header = append(header, "Verdict")
 	var rows [][]string
@@ -265,6 +315,16 @@ func printComparison(cmp *cosim.ModeComparison) {
 				verdict = "mismatch"
 			}
 		}
+		if shm {
+			sx := row.Shm.Exec
+			cells = append(cells,
+				sx.Wall.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.2fx", cmp.ShmSpeedup(i)),
+				fmt.Sprint(sx.RingParks))
+			if row.Shm.Mismatch != nil {
+				verdict = "mismatch"
+			}
+		}
 		rows = append(rows, append(cells, verdict))
 	}
 	fmt.Print(stats.Table(header, rows))
@@ -272,6 +332,10 @@ func printComparison(cmp *cosim.ModeComparison) {
 	fmt.Println("      executed speedups are measured wall clock and depend on host cores")
 	if remote {
 		fmt.Println("      remote speedups include real socket framing and the server's token window")
+	}
+	if shm {
+		fmt.Println("      shm rows stream the same protocol over the zero-syscall shared-memory ring;")
+		fmt.Println("      ring parks count spin-budget exhaustions (the ring-level analogue of stalls)")
 	}
 	if anyDegraded {
 		fmt.Println("      'degraded' rows lost their difftestd session beyond the retry budget;")

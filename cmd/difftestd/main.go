@@ -1,6 +1,7 @@
 // Command difftestd is the networked verification server: it accepts
-// concurrent DUT sessions over TCP or a Unix-domain socket, gives each its
-// own reference models and checker (built from the session handshake), and
+// concurrent DUT sessions over TCP, a Unix-domain socket, or a same-host
+// shared-memory ring, gives each its own reference models and checker
+// (built from the session handshake), and
 // streams verdicts back over the framed transport. The per-session token
 // window bounds how many data frames a client may have in flight — the
 // networked analogue of Replay's token-managed buffering (paper §4.4).
@@ -9,6 +10,7 @@
 //
 //	difftestd -listen :9740                    # TCP
 //	difftestd -listen unix:/tmp/difftestd.sock # Unix-domain socket
+//	difftestd -listen shm:///dev/shm/difftest  # shared-memory ring rendezvous
 //
 // Clients connect with `difftest -remote <addr>`. SIGINT/SIGTERM drain
 // gracefully: listeners close, in-flight sessions get -grace to finish, and
@@ -33,7 +35,7 @@ import (
 func main() {
 	var (
 		listen = flag.String("listen", ":9740",
-			"listen address: host:port for TCP, unix:<path> for a Unix-domain socket")
+			"listen address: tcp://host:port (or bare host:port), unix:///path, or shm:///dir for the same-host shared-memory ring")
 		tokens = flag.Int("tokens", transport.DefaultWindow,
 			"token window per session (max in-flight data frames)")
 		idle = flag.Duration("idle", transport.DefaultIdleTimeout,

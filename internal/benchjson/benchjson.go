@@ -5,13 +5,14 @@
 // every PR's speed claims land in a committed, CI-gated time series instead
 // of a prose changelog.
 //
-// The five canonical areas mirror the layers the paper's speedups live in:
+// The six canonical areas mirror the layers the paper's speedups live in:
 //
 //	codec      per-kind wire encode/decode          (internal/event)
 //	batch      packet packing and unpacking         (internal/batch)
 //	transport  frame round-trip over a real socket  (internal/transport)
 //	pipeline   executed concurrent pipeline         (internal/pipeline, internal/cosim)
 //	remote     difftestd loopback RTT and sessions  (internal/cosim)
+//	shm        shared-memory ring RTT + zero-copy   (internal/transport/shmring)
 //
 // cmd/benchjson wraps this package as a CLI with run / compare / gate
 // subcommands; `make bench-json` and CI's bench-trajectory job drive it.
@@ -76,6 +77,12 @@ func Areas() []Area {
 			Packages:  []string{"./internal/cosim"},
 			Pattern:   "^(BenchmarkRemoteLoopbackRTT|BenchmarkRemoteLoopbackSession)$",
 			Benchtime: "3x",
+		},
+		{
+			Name:      "shm",
+			Packages:  []string{"./internal/transport/shmring", "./internal/transport"},
+			Pattern:   "^(BenchmarkShmFrameRoundTrip|BenchmarkShmPackCheckZeroCopy|BenchmarkUnixSocketFrameRoundTrip)$",
+			Benchtime: "2000x",
 		},
 	}
 }

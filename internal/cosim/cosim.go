@@ -100,10 +100,19 @@ type Params struct {
 	Ctx context.Context
 
 	// RemoteAddr, when non-empty, streams the hardware side to a difftestd
-	// verification server at this address ("host:port" or "unix:<path>")
-	// instead of checking in-process. Remote runs are always executed
-	// (concurrent pipeline); Result.Exec reports the networked wall clock.
+	// verification server at this address instead of checking in-process.
+	// It accepts the unified transport spec forms — "tcp://host:port",
+	// "unix:///path", "shm:///dir" (same-host shared-memory ring) — plus the
+	// legacy "host:port" and "unix:<path>" shorthands. Remote runs are
+	// always executed (concurrent pipeline); Result.Exec reports the
+	// networked wall clock.
 	RemoteAddr string
+	// ShmLoopback, used by CompareModes only, adds a fourth pass per
+	// configuration: an in-process difftestd served over a shared-memory
+	// ring rendezvous, so the comparison table reports the same-host fast
+	// path next to the modeled, executed, and (optionally) socket-remote
+	// numbers without an external server.
+	ShmLoopback bool
 	// RemoteCfg tunes the networked client for RemoteAddr runs: session
 	// resume, reconnect budget, backoff, stall detection. The zero value
 	// gives a non-resuming client (protocol v1 behavior): any connection

@@ -90,8 +90,8 @@ type faultDialer struct {
 }
 
 func (d *faultDialer) dial(spec string) (net.Conn, error) {
-	network, addr := transport.SplitAddr(spec)
-	nc, err := net.Dial(network, addr)
+	sp, _ := transport.ParseSpec(spec)
+	nc, err := net.Dial(sp.Scheme, sp.Addr)
 	if err != nil {
 		return nil, err
 	}
@@ -249,8 +249,8 @@ func TestDegradedRunAfterBudgetExhaustion(t *testing.T) {
 		if idx > 0 {
 			return nil, errDialRefused
 		}
-		network, addr := transport.SplitAddr(spec)
-		nc, err := net.Dial(network, addr)
+		sp, _ := transport.ParseSpec(spec)
+		nc, err := net.Dial(sp.Scheme, sp.Addr)
 		if err != nil {
 			return nil, err
 		}

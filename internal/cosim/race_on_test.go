@@ -1,0 +1,8 @@
+//go:build race
+
+package cosim
+
+// raceEnabled reports whether this test binary runs under the race
+// detector, so the longest sweeps can trade exhaustiveness for fitting the
+// package's race-mode time budget.
+const raceEnabled = true

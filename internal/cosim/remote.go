@@ -5,6 +5,11 @@ import (
 
 	"repro/internal/pipeline"
 	"repro/internal/transport"
+
+	// Register the shm:// scheme: any RemoteAddr a run is pointed at may
+	// name a shared-memory rendezvous, so the same-host fast path is always
+	// dialable wherever a socket spec is.
+	_ "repro/internal/transport/shmring"
 )
 
 // Remote co-simulation (Params.RemoteAddr): the hardware side — DUT monitor,
@@ -79,6 +84,8 @@ func (r *runner) loopRemote() error {
 	m.TokenStalls = cl.Stalls()
 	m.Reconnects = cl.Reconnects()
 	m.ReplayedFrames = cl.ReplayedFrames()
+	ls := cl.LinkStats()
+	m.RingParks = ls.WriterParks + ls.ReaderParks
 	r.res.Exec = m
 
 	v, err := cl.Finish()

@@ -1,10 +1,15 @@
 package cosim
 
 import (
+	"context"
+	"fmt"
+	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
+	"repro/internal/transport"
 )
 
 // RunConcurrent executes a batch of independent co-simulations on a bounded
@@ -66,12 +71,16 @@ func RunConcurrent(ps []Params, workers int) ([]*Result, error) {
 // ModeRow pairs the analytic (modeled) and executed results of one named
 // configuration. Remote is non-nil only when the comparison ran against a
 // difftestd server (Params.RemoteAddr set): the same hardware producer
-// streaming over a real socket instead of an in-process channel.
+// streaming over a real socket instead of an in-process channel. Shm is
+// non-nil only with Params.ShmLoopback: the same networked protocol, but
+// over the shared-memory ring transport to an in-process server — the
+// same-host fast-path operating point.
 type ModeRow struct {
 	Config   string
 	Modeled  *Result
 	Executed *Result
 	Remote   *Result
+	Shm      *Result
 }
 
 // ModeComparison reports modeled-vs-executed behavior across the artifact
@@ -90,7 +99,10 @@ func ConfigNames() []string { return []string{"Z", "EB", "EBIN", "EBINSD"} }
 // actually achieves on this host. When p.RemoteAddr is set, each
 // configuration additionally runs a third time with the software side on the
 // difftestd server at that address, so one table compares modeled SpeedHz,
-// in-process ExecutedHz, and networked ExecutedHz.
+// in-process ExecutedHz, and networked ExecutedHz. When p.ShmLoopback is
+// set, a fourth pass per configuration streams over the shared-memory ring
+// transport to an in-process server (startShmLoopback), adding the
+// same-host fast path to the same table.
 //
 // freshHooks, when non-nil, rebuilds the injection hooks before every run
 // and overrides p.Hooks. Bug triggers are stateful counters, so sharing one
@@ -100,6 +112,15 @@ func CompareModes(p Params, freshHooks func() arch.Hooks) (*ModeComparison, erro
 	cmp := &ModeComparison{}
 	ablations := p.Opt
 	remoteAddr := p.RemoteAddr
+	shmSpec := ""
+	if p.ShmLoopback {
+		spec, stop, err := startShmLoopback(p.Platform.ShmRingBytes)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		shmSpec = spec
+	}
 	for _, name := range ConfigNames() {
 		opt, err := ParseConfig(name)
 		if err != nil {
@@ -136,9 +157,52 @@ func CompareModes(p Params, freshHooks func() arch.Hooks) (*ModeComparison, erro
 				return nil, err
 			}
 		}
+		if shmSpec != "" {
+			p.RemoteAddr = shmSpec
+			if freshHooks != nil {
+				p.Hooks = freshHooks()
+			}
+			if row.Shm, err = Run(p); err != nil {
+				return nil, err
+			}
+		}
 		cmp.Rows = append(cmp.Rows, row)
 	}
 	return cmp, nil
+}
+
+// startShmLoopback serves an in-process difftestd over a shared-memory ring
+// rendezvous in a fresh temp directory, returning the dial spec and a stop
+// function that shuts the server down and removes the directory. ringBytes ≤
+// 0 takes the transport default.
+func startShmLoopback(ringBytes int) (spec string, stop func(), err error) {
+	dir, err := os.MkdirTemp("", "difftest-shm-*")
+	if err != nil {
+		return "", nil, err
+	}
+	spec = "shm://" + dir
+	if ringBytes > 0 {
+		spec = fmt.Sprintf("%s?ring=%d", spec, ringBytes)
+	}
+	l, err := transport.Listen(spec)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("cosim: shm loopback: %w", err)
+	}
+	srv := transport.NewServer(transport.ServerConfig{NewSession: NewSession})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+		os.RemoveAll(dir)
+	}
+	return spec, stop, nil
 }
 
 // ModeledSpeedup returns row i's modeled (simulated-time) speedup over the
@@ -171,6 +235,20 @@ func (c *ModeComparison) RemoteSpeedup(i int) float64 {
 		return 0
 	}
 	base, row := c.Rows[0].Remote.Exec, c.Rows[i].Remote.Exec
+	if base == nil || row == nil || row.Wall <= 0 {
+		return 0
+	}
+	return base.Wall.Seconds() / row.Wall.Seconds()
+}
+
+// ShmSpeedup returns row i's measured shared-memory wall-clock speedup over
+// the shared-memory baseline (row 0), or 0 when the comparison ran without
+// Params.ShmLoopback.
+func (c *ModeComparison) ShmSpeedup(i int) float64 {
+	if len(c.Rows) == 0 || c.Rows[0].Shm == nil || c.Rows[i].Shm == nil {
+		return 0
+	}
+	base, row := c.Rows[0].Shm.Exec, c.Rows[i].Shm.Exec
 	if base == nil || row == nil || row.Wall <= 0 {
 		return 0
 	}

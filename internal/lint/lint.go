@@ -288,6 +288,10 @@ func isFaultnetPath(path string) bool {
 	return path == "repro/internal/faultnet" || strings.HasSuffix(path, "/internal/faultnet")
 }
 
+func isShmringPath(path string) bool {
+	return path == "repro/internal/transport/shmring" || strings.HasSuffix(path, "/transport/shmring")
+}
+
 // eventFunc reports whether obj is the named function from the event package.
 func eventFunc(obj types.Object, name string) bool {
 	fn, ok := obj.(*types.Func)

@@ -702,9 +702,11 @@ func isPacketRelease(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // isAdoptCall reports whether call is an ownership-transferring Adopt*
-// method on a faultnet type. The naming convention is load-bearing: any
-// method of that package whose name starts with "Adopt" takes over the
-// pooled buffers among its arguments for the lifetime of its receiver.
+// method on a faultnet or shmring type. The naming convention is
+// load-bearing: any method of those packages whose name starts with "Adopt"
+// takes over the pooled buffers among its arguments — faultnet's journal
+// keeps the snapshot until Release, the ring's AdoptWriteFrame stages the
+// payload and returns the buffer to the pool itself — so no PutBuf follows.
 func isAdoptCall(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok || !strings.HasPrefix(sel.Sel.Name, "Adopt") {
@@ -718,7 +720,8 @@ func isAdoptCall(info *types.Info, call *ast.CallExpr) bool {
 	if recv == nil || fn.Pkg() == nil {
 		return false
 	}
-	return isFaultnetPath(fn.Pkg().Path())
+	path := fn.Pkg().Path()
+	return isFaultnetPath(path) || isShmringPath(path)
 }
 
 // isTerminalCall reports calls that never return: panic, os.Exit,

@@ -81,6 +81,14 @@ type Metrics struct {
 	// (cosim's graceful degradation), 0 otherwise.
 	DegradedRuns uint64
 
+	// RingParks counts spin-phase exhaustions on a shared-memory ring
+	// transport — how often either side of the link outlasted its yield
+	// burst and slept (copied from transport.LinkStats after Run returns;
+	// zero on socket transports, which park in the kernel instead). A high
+	// count against low Backpressure/TokenStalls means the ring itself, not
+	// the protocol window, is the pacing bottleneck.
+	RingParks uint64
+
 	// QueuePeak is the largest in-flight queue occupancy the link stage
 	// observed (non-blocking mode; always ≤ Config.QueueDepth).
 	QueuePeak int

@@ -37,6 +37,12 @@ type Platform struct {
 	// Transport shape.
 	PacketBytes int // transmission packet size for Batch
 	QueueDepth  int // in-flight packets before backpressure (non-blocking)
+	// ShmRingBytes is the per-direction ring capacity the platform's
+	// same-host shared-memory operating point uses (the shm:// transport).
+	// Sized to hold several in-flight packets beyond QueueDepth so the ring
+	// itself never becomes the window; 0 means the platform has no same-host
+	// fast path (software simulation checks in process).
+	ShmRingBytes int
 
 	// DUT-only speed model: Hz = BaseHz * (BaseGatesM/gates)^ScaleExp,
 	// anchored at XiangShan-default (57.6M gates).
@@ -80,6 +86,7 @@ func Palladium() Platform {
 		PerCycleHW:    0,
 		PacketBytes:   4096,
 		QueueDepth:    16,
+		ShmRingBytes:  1 << 20, // 256 packets/direction, ≫ QueueDepth
 		BaseHz:        480e3,
 		ScaleExp:      0.167,
 	}
@@ -101,6 +108,7 @@ func FPGA() Platform {
 		PerCycleHW:    0.1e-6,
 		PacketBytes:   16384,
 		QueueDepth:    64,
+		ShmRingBytes:  4 << 20, // 256 packets/direction, ≫ QueueDepth
 		BaseHz:        50e6,
 		ScaleExp:      0.15,
 	}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/event"
@@ -41,6 +42,75 @@ func BenchmarkFrameRoundTrip(b *testing.B) {
 		payload[i] = byte(i)
 	}
 	b.SetBytes(int64(2 * (FrameHeaderSize + len(payload)))) // both directions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.WriteFrame(FramePacket, payload); err != nil {
+			b.Fatal(err)
+		}
+		_, buf, err := client.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(buf) != len(payload) {
+			b.Fatalf("echo returned %d bytes, want %d", len(buf), len(payload))
+		}
+		event.PutBuf(buf)
+	}
+	b.StopTimer()
+	client.Close()
+	<-done
+}
+
+// BenchmarkUnixSocketFrameRoundTrip is BenchmarkFrameRoundTrip over a real
+// unix-domain socket instead of net.Pipe: the same echo protocol, but every
+// frame pays the kernel's socket send/receive path. It exists as the baseline
+// the shmring transport is measured against — benchjson's shm area puts this
+// and BenchmarkShmFrameRoundTrip in the same BENCH_shm.json file.
+func BenchmarkUnixSocketFrameRoundTrip(b *testing.B) {
+	sock := filepath.Join(b.TempDir(), "bench.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		nc, err := l.Accept()
+		if err != nil {
+			return
+		}
+		server := NewConn(nc)
+		defer server.Close()
+		for {
+			h, buf, err := server.ReadFrame()
+			if err != nil {
+				return
+			}
+			err = server.WriteFrame(h.Type, buf)
+			if buf != nil {
+				event.PutBuf(buf)
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	nc, err := net.Dial("unix", sock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := NewConn(nc)
+	defer client.Close()
+
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(2 * (FrameHeaderSize + len(payload))))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

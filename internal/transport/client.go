@@ -72,12 +72,12 @@ type pendingFrame struct {
 	buf []byte // pooled (event.GetBuf), exactly the payload bytes
 }
 
-// connGen is one connection generation: the framed conn, its token window,
-// and the channels its reader goroutine uses to signal death. A reconnect
-// builds a fresh generation; the producer goroutine is the only writer of
-// Client.gen.
+// connGen is one connection generation: the framed transport, its token
+// window, and the channels its reader goroutine uses to signal death. A
+// reconnect builds a fresh generation; the producer goroutine is the only
+// writer of Client.gen.
 type connGen struct {
-	conn   *Conn
+	conn   FrameTransport
 	tokens chan struct{}
 
 	dieOnce sync.Once
@@ -132,8 +132,9 @@ type Client struct {
 	rng *rand.Rand // backoff jitter; producer-owned
 }
 
-// Dial connects to a difftestd server (spec per SplitAddr), performs the
-// handshake, and starts the credit/verdict reader.
+// Dial connects to a difftestd server (spec per ParseSpec: tcp://, unix://,
+// shm://, or the legacy forms), performs the handshake, and starts the
+// credit/verdict reader.
 func Dial(spec string, hello Hello, cfg ClientConfig) (*Client, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
@@ -163,13 +164,12 @@ func Dial(spec string, hello Hello, cfg ClientConfig) (*Client, error) {
 		done: make(chan struct{}),
 		rng:  rand.New(rand.NewPCG(uint64(seed), 0xbac0ff)),
 	}
-	nc, err := c.dialRaw()
+	conn, err := c.dialTransport()
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", spec, err)
 	}
-	conn := NewConn(nc)
-	conn.WriteTimeout = cfg.WriteTimeout
-	conn.ReadTimeout = cfg.DialTimeout
+	conn.SetWriteTimeout(cfg.WriteTimeout)
+	conn.SetReadTimeout(cfg.DialTimeout)
 
 	hello.Proto = ProtoVersion
 	hello.WireDigest = event.FormatDigest()
@@ -182,25 +182,31 @@ func Dial(spec string, hello Hello, cfg ClientConfig) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("transport: handshake read: %w", err)
 	}
-	defer releaseBuf(payload)
+	// The payload must be fully consumed and released before readLoop takes
+	// over as the transport's sole reader: on single-consumer transports (the
+	// shm ring) a release racing a concurrent ReadFrame corrupts the cursor.
 	switch h.Type {
 	case FrameWelcome:
 	case FrameErrorInfo:
 		var ei ErrorInfo
-		if jerr := decodeJSON(h.Type, payload, &ei); jerr != nil {
-			conn.Close()
+		jerr := decodeJSON(h.Type, payload, &ei)
+		conn.ReleasePayload(payload)
+		conn.Close()
+		if jerr != nil {
 			return nil, jerr
 		}
-		conn.Close()
 		return nil, &ei
 	default:
+		conn.ReleasePayload(payload)
 		conn.Close()
 		return nil, fmt.Errorf("transport: handshake: unexpected frame type %d", h.Type)
 	}
 	var w Welcome
-	if err := decodeJSON(h.Type, payload, &w); err != nil {
+	werr := decodeJSON(h.Type, payload, &w)
+	conn.ReleasePayload(payload)
+	if werr != nil {
 		conn.Close()
-		return nil, err
+		return nil, werr
 	}
 	if w.Tokens <= 0 {
 		conn.Close()
@@ -209,23 +215,28 @@ func Dial(spec string, hello Hello, cfg ClientConfig) (*Client, error) {
 
 	c.welcome = w
 	c.gen = newGen(conn, w.Tokens, w.Tokens)
-	conn.ReadTimeout = 0 // the reader blocks until the server speaks or EOF
+	conn.SetReadTimeout(0) // the reader blocks until the server speaks or EOF
 	go c.readLoop(c.gen)
 	return c, nil
 }
 
-// dialRaw opens the raw network connection through the configured hook.
-func (c *Client) dialRaw() (net.Conn, error) {
+// dialTransport opens the framed transport: through the configured raw-dial
+// hook (fault injection wraps net.Conns, so the hook result gets the socket
+// framing) or by resolving the address spec against the scheme registry.
+func (c *Client) dialTransport() (FrameTransport, error) {
 	if c.cfg.Dial != nil {
-		return c.cfg.Dial(c.spec)
+		nc, err := c.cfg.Dial(c.spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewConn(nc), nil
 	}
-	network, addr := SplitAddr(c.spec)
-	return net.DialTimeout(network, addr, c.cfg.DialTimeout)
+	return DialFrame(c.spec, c.cfg.DialTimeout)
 }
 
 // newGen builds a connection generation with cap window tokens, avail of
 // them immediately available (the rest are held by in-flight frames).
-func newGen(conn *Conn, window, avail int) *connGen {
+func newGen(conn FrameTransport, window, avail int) *connGen {
 	g := &connGen{
 		conn:   conn,
 		tokens: make(chan struct{}, window),
@@ -260,6 +271,16 @@ func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
 // replay window across all resumes.
 func (c *Client) ReplayedFrames() uint64 { return c.replayed.Load() }
 
+// LinkStats reports transport-level wait instrumentation when the underlying
+// transport carries it (the shm ring's park counters); zero otherwise.
+// Producer-goroutine only, like the send methods.
+func (c *Client) LinkStats() LinkStats {
+	if sr, ok := c.gen.conn.(StatsReporter); ok {
+		return sr.LinkStats()
+	}
+	return LinkStats{}
+}
+
 // terminal closes done exactly once.
 func (c *Client) terminal() { c.doneOnce.Do(func() { close(c.done) }) }
 
@@ -279,7 +300,7 @@ func (c *Client) readLoop(gen *connGen) {
 		case FrameCredit:
 			var cr Credit
 			err := decodeJSON(h.Type, payload, &cr)
-			releaseBuf(payload)
+			gen.conn.ReleasePayload(payload)
 			if err != nil {
 				gen.die(err)
 				return
@@ -294,7 +315,7 @@ func (c *Client) readLoop(gen *connGen) {
 		case FrameVerdict:
 			var v Verdict
 			err := decodeJSON(h.Type, payload, &v)
-			releaseBuf(payload)
+			gen.conn.ReleasePayload(payload)
 			if err != nil {
 				gen.die(err)
 				return
@@ -306,7 +327,7 @@ func (c *Client) readLoop(gen *connGen) {
 		case FrameDone:
 			var v Verdict
 			err := decodeJSON(h.Type, payload, &v)
-			releaseBuf(payload)
+			gen.conn.ReleasePayload(payload)
 			if err != nil {
 				gen.die(err)
 				return
@@ -323,7 +344,7 @@ func (c *Client) readLoop(gen *connGen) {
 			// silently instead of sending one).
 			var ei ErrorInfo
 			err := decodeJSON(h.Type, payload, &ei)
-			releaseBuf(payload)
+			gen.conn.ReleasePayload(payload)
 			if err != nil {
 				c.fatal(err)
 			} else {
@@ -331,7 +352,7 @@ func (c *Client) readLoop(gen *connGen) {
 			}
 			return
 		default:
-			releaseBuf(payload)
+			gen.conn.ReleasePayload(payload)
 			c.fatal(fmt.Errorf("transport: unexpected server frame type %d", h.Type))
 			return
 		}
@@ -496,13 +517,12 @@ func (c *Client) backoff(attempt int) time.Duration {
 // restart the reader. An error wrapping ErrSessionLost is a refusal (do not
 // retry); any other error is this attempt failing.
 func (c *Client) redial() (*connGen, error) {
-	nc, err := c.dialRaw()
+	conn, err := c.dialTransport()
 	if err != nil {
 		return nil, err
 	}
-	conn := NewConn(nc)
-	conn.WriteTimeout = c.cfg.WriteTimeout
-	conn.ReadTimeout = c.cfg.DialTimeout
+	conn.SetWriteTimeout(c.cfg.WriteTimeout)
+	conn.SetReadTimeout(c.cfg.DialTimeout)
 
 	c.mu.Lock()
 	acked := c.acked
@@ -528,20 +548,20 @@ func (c *Client) redial() (*connGen, error) {
 	case FrameErrorInfo:
 		var ei ErrorInfo
 		jerr := decodeJSON(h.Type, payload, &ei)
-		releaseBuf(payload)
+		conn.ReleasePayload(payload)
 		conn.Close()
 		if jerr != nil {
 			return nil, jerr
 		}
 		return nil, fmt.Errorf("transport: resume refused: %v: %w", &ei, ErrSessionLost)
 	default:
-		releaseBuf(payload)
+		conn.ReleasePayload(payload)
 		conn.Close()
 		return nil, fmt.Errorf("transport: resume: unexpected frame type %d", h.Type)
 	}
 	var ok ResumeOK
 	jerr := decodeJSON(h.Type, payload, &ok)
-	releaseBuf(payload)
+	conn.ReleasePayload(payload)
 	if jerr != nil {
 		conn.Close()
 		return nil, jerr
@@ -600,7 +620,7 @@ func (c *Client) redial() (*connGen, error) {
 		avail = 0
 	}
 	g := newGen(conn, window, avail)
-	conn.ReadTimeout = 0
+	conn.SetReadTimeout(0)
 	go c.readLoop(g)
 	return g, nil
 }

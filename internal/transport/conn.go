@@ -7,25 +7,33 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/event"
 )
 
-// Conn frames a net.Conn: length-prefixed writes with a write deadline,
-// header-validated reads into pooled buffers with a read deadline. Reads and
-// writes are independently goroutine-safe (one reader, one writer is the
-// intended shape; concurrent writers serialize on a mutex).
+// coalesceMax bounds the staged-write path: a frame whose header+payload fit
+// within it is copied once into the scratch buffer and written with a single
+// syscall; anything larger goes out as a two-element writev (net.Buffers) —
+// one syscall, zero copies — so big packets never pay a memcpy just to avoid
+// a second write.
+const coalesceMax = 8 << 10
+
+// Conn frames a net.Conn: vectored, deadline-bounded writes and
+// header-validated reads into pooled buffers with a read deadline. It is the
+// socket-backed FrameTransport; reads and writes are independently
+// goroutine-safe (one reader, one writer is the intended shape; concurrent
+// writers serialize on a mutex).
 type Conn struct {
 	c  net.Conn
 	br *bufio.Reader
 
-	writeMu  sync.Mutex
-	bw       *bufio.Writer
-	writeSeq uint64
-	scratch  []byte // header + small-payload staging, reused across writes
+	writeMu    sync.Mutex
+	writeSeq   uint64
+	writeArmed bool        // a write deadline is set and must be cleared if WriteTimeout drops to 0
+	scratch    []byte      // header + coalesced-payload staging, reused across writes
+	vecs       net.Buffers // header+payload iovec staging for the writev path
 
 	readSeq   uint64
 	readArmed bool // a read deadline is set and must be cleared if ReadTimeout drops to 0
@@ -37,12 +45,14 @@ type Conn struct {
 	WriteTimeout time.Duration
 }
 
+// Conn implements the transport seam.
+var _ FrameTransport = (*Conn)(nil)
+
 // NewConn wraps an established network connection.
 func NewConn(c net.Conn) *Conn {
 	return &Conn{
 		c:       c,
 		br:      bufio.NewReaderSize(c, 64<<10),
-		bw:      bufio.NewWriterSize(c, 64<<10),
 		scratch: make([]byte, 0, FrameHeaderSize),
 	}
 }
@@ -54,21 +64,52 @@ func (c *Conn) Close() error { return c.c.Close() }
 // forced-drain path.
 func (c *Conn) SetDeadlineNow() { c.c.SetDeadline(time.Now()) }
 
+// SetReadTimeout bounds one blocking ReadFrame (0 = no deadline).
+func (c *Conn) SetReadTimeout(d time.Duration) { c.ReadTimeout = d }
+
+// SetWriteTimeout bounds one WriteFrame flush (0 = no deadline).
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.WriteTimeout = d }
+
 // RemoteAddr reports the peer address for logging.
 func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
 
+// ReleasePayload returns a ReadFrame payload to the buffer pool; nil
+// (zero-length frame) needs no release.
+func (c *Conn) ReleasePayload(buf []byte) {
+	if buf != nil {
+		event.PutBuf(buf)
+	}
+}
+
 // WriteFrame sends one frame. The payload is not retained. Errors are typed
 // *FrameError so callers can locate the failing frame.
+//
+// Small frames (≤ coalesceMax) are staged header+payload into one scratch
+// buffer and leave in a single Write; larger frames leave as a single writev
+// (net.Buffers) with no payload copy. Either way the frame costs exactly one
+// syscall on a socket — the old bufio path cost a copy always and two
+// syscalls beyond its buffer size.
 func (c *Conn) WriteFrame(typ uint8, payload []byte) error {
 	if len(payload) > MaxFrameBytes {
 		return frameErr("write", typ, 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload)))
 	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	// Arm or clear the write deadline per frame, mirroring the read side: a
+	// deadline a previous phase armed (the dial handshake) must not keep
+	// ticking into a deliberately unbounded write, and with a timeout set, a
+	// stalled peer whose socket buffer filled up cannot hang WriteFrame
+	// forever.
 	if c.WriteTimeout > 0 {
 		if err := c.c.SetWriteDeadline(time.Now().Add(c.WriteTimeout)); err != nil {
 			return frameErr("write", typ, c.writeSeq, err)
 		}
+		c.writeArmed = true
+	} else if c.writeArmed {
+		if err := c.c.SetWriteDeadline(time.Time{}); err != nil {
+			return frameErr("write", typ, c.writeSeq, err)
+		}
+		c.writeArmed = false
 	}
 	h := FrameHeader{Magic: FrameMagic, Type: typ, Length: uint32(len(payload)), Seq: c.writeSeq}
 	c.scratch = h.AppendTo(c.scratch[:0])
@@ -78,13 +119,18 @@ func (c *Conn) WriteFrame(typ uint8, payload []byte) error {
 	binary.LittleEndian.PutUint32(c.scratch[frameCheckOffset:], sum)
 	seq := c.writeSeq
 	c.writeSeq++
-	if _, err := c.bw.Write(c.scratch); err != nil {
-		return frameErr("write", typ, seq, err)
+	if FrameHeaderSize+len(payload) <= coalesceMax {
+		c.scratch = append(c.scratch, payload...)
+		if _, err := c.c.Write(c.scratch); err != nil {
+			return frameErr("write", typ, seq, err)
+		}
+		return nil
 	}
-	if _, err := c.bw.Write(payload); err != nil {
-		return frameErr("write", typ, seq, err)
-	}
-	if err := c.bw.Flush(); err != nil {
+	// Vectored path: header and payload go out in one writev without a copy.
+	// WriteTo consumes the iovec in place, so rebuild it from the persistent
+	// field each frame — no per-frame allocation.
+	c.vecs = append(c.vecs[:0], c.scratch, payload)
+	if _, err := c.vecs.WriteTo(c.c); err != nil {
 		return frameErr("write", typ, seq, err)
 	}
 	return nil
@@ -92,8 +138,9 @@ func (c *Conn) WriteFrame(typ uint8, payload []byte) error {
 
 // ReadFrame reads one frame. The returned payload is a pooled buffer
 // (event.GetBuf) that ownership-transfers to the caller: release it with
-// event.PutBuf once consumed, so the pool's get/put balance holds across a
-// session. A zero-length payload returns nil and needs no release.
+// ReleasePayload (or event.PutBuf) once consumed, so the pool's get/put
+// balance holds across a session. A zero-length payload returns nil and
+// needs no release.
 //
 // Error contract: a connection that closes cleanly between frames returns
 // bare io.EOF. Everything else — a connection dying mid-frame (wrapped
@@ -171,19 +218,4 @@ func crc32Frame(hdrPrefix, payload []byte) uint32 {
 		sum = crc32.Update(sum, castagnoli, payload)
 	}
 	return sum
-}
-
-// SplitAddr resolves an address spec into (network, address): "unix:<path>"
-// selects a Unix-domain socket, anything else is "host:port" TCP.
-func SplitAddr(spec string) (network, addr string) {
-	if path, ok := strings.CutPrefix(spec, "unix:"); ok {
-		return "unix", path
-	}
-	return "tcp", spec
-}
-
-// Listen opens a listener for an address spec (see SplitAddr).
-func Listen(spec string) (net.Listener, error) {
-	network, addr := SplitAddr(spec)
-	return net.Listen(network, addr)
 }

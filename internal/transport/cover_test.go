@@ -106,12 +106,34 @@ func TestClientMismatchAccessor(t *testing.T) {
 	}
 }
 
-func TestSplitAddrTCP(t *testing.T) {
-	if network, addr := SplitAddr("127.0.0.1:8021"); network != "tcp" || addr != "127.0.0.1:8021" {
-		t.Fatalf("SplitAddr = (%q, %q), want tcp passthrough", network, addr)
+func TestParseSpecForms(t *testing.T) {
+	good := []struct {
+		in           string
+		scheme, addr string
+	}{
+		{"127.0.0.1:8021", "tcp", "127.0.0.1:8021"},   // legacy bare host:port
+		{"unix:/tmp/d.sock", "unix", "/tmp/d.sock"},   // legacy PR 4 form
+		{"tcp://10.0.0.1:9", "tcp", "10.0.0.1:9"},     // canonical tcp
+		{"unix:///tmp/d.sock", "unix", "/tmp/d.sock"}, // canonical unix
+		{"shm:///tmp/rings", "shm", "/tmp/rings"},     // shm rendezvous dir
+		{"shm:///tmp/rings?ring=65536", "shm", "/tmp/rings?ring=65536"},
 	}
-	if network, addr := SplitAddr("unix:/tmp/d.sock"); network != "unix" || addr != "/tmp/d.sock" {
-		t.Fatalf("SplitAddr = (%q, %q), want unix split", network, addr)
+	for _, tc := range good {
+		sp, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		if sp.Scheme != tc.scheme || sp.Addr != tc.addr {
+			t.Fatalf("ParseSpec(%q) = %+v, want {%s %s}", tc.in, sp, tc.scheme, tc.addr)
+		}
+		if got := sp.String(); got != tc.scheme+"://"+tc.addr {
+			t.Fatalf("Spec.String() = %q", got)
+		}
+	}
+	for _, bad := range []string{"", "unix:", "://addr", "tcp://"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) must fail", bad)
+		}
 	}
 }
 
@@ -165,8 +187,8 @@ func TestParkedSessionReapedAfterWindow(t *testing.T) {
 	})
 
 	// Manual handshake so the disconnect timing is ours, not a Client's.
-	network, addr := SplitAddr(spec)
-	nc, err := net.Dial(network, addr)
+	sp, _ := ParseSpec(spec)
+	nc, err := net.Dial(sp.Scheme, sp.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +228,7 @@ func TestParkedSessionReapedAfterWindow(t *testing.T) {
 	}
 	time.Sleep(60 * time.Millisecond) // let the resume window lapse
 
-	nc2, err := net.Dial(network, addr)
+	nc2, err := net.Dial(sp.Scheme, sp.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,32 +374,31 @@ func TestDialHandshakeErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	replies := make(chan func(*Conn), 2)
+	replies := make(chan func(FrameTransport), 2)
 	go func() {
 		for {
-			nc, err := l.Accept()
+			conn, err := l.AcceptFrame()
 			if err != nil {
 				return
 			}
-			go func(nc net.Conn) {
-				defer nc.Close()
-				conn := NewConn(nc)
+			go func(conn FrameTransport) {
+				defer conn.Close()
 				_, p, err := conn.ReadFrame()
 				if err != nil {
 					return
 				}
-				releaseBuf(p)
+				conn.ReleasePayload(p)
 				(<-replies)(conn)
-			}(nc)
+			}(conn)
 		}
 	}()
 
-	replies <- func(c *Conn) { c.WriteFrame(FrameCredit, encodeJSON(&Credit{Tokens: 1})) }
+	replies <- func(c FrameTransport) { c.WriteFrame(FrameCredit, encodeJSON(&Credit{Tokens: 1})) }
 	if _, err := Dial(spec, testHello(), ClientConfig{}); err == nil || !strings.Contains(err.Error(), "unexpected frame type") {
 		t.Fatalf("non-welcome reply: err = %v", err)
 	}
 
-	replies <- func(c *Conn) {
+	replies <- func(c FrameTransport) {
 		c.WriteFrame(FrameWelcome, encodeJSON(&Welcome{
 			Proto: ProtoVersion, WireDigest: event.FormatDigest(), Session: 1, Tokens: 0,
 		}))
@@ -396,8 +417,8 @@ func TestDialHandshakeErrors(t *testing.T) {
 // returns the server's ErrorInfo refusal.
 func expectRefusal(t *testing.T, spec string, typ uint8, payload []byte) ErrorInfo {
 	t.Helper()
-	network, addr := SplitAddr(spec)
-	nc, err := net.Dial(network, addr)
+	sp, _ := ParseSpec(spec)
+	nc, err := net.Dial(sp.Scheme, sp.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -481,8 +502,8 @@ func TestIdleReapWithoutResume(t *testing.T) {
 		NewSession:  stubSessions(func() *stubChecker { return &stubChecker{} }),
 		IdleTimeout: 30 * time.Millisecond,
 	})
-	network, addr := SplitAddr(spec)
-	nc, err := net.Dial(network, addr)
+	sp, _ := ParseSpec(spec)
+	nc, err := net.Dial(sp.Scheme, sp.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -131,6 +131,21 @@ func (h *FrameHeader) AppendTo(dst []byte) []byte {
 	return append(dst, b[:]...)
 }
 
+// FrameCheckOffset is the offset of the Check field within an encoded
+// header. The frame checksum covers every header byte before it, extended
+// over the payload.
+const FrameCheckOffset = frameCheckOffset
+
+// ChecksumFrame computes the frame checksum over the raw encoded header
+// prefix (the FrameCheckOffset bytes before the Check field) extended over
+// payload. Byte-exact over the wire image — unlike FrameHeader.Sum, which
+// re-encodes from struct fields and so cannot see corruption in the reserved
+// bytes — making it the verify-side primitive for transports that alias
+// received frames in place.
+func ChecksumFrame(prefix, payload []byte) uint32 {
+	return crc32Frame(prefix, payload)
+}
+
 // Sum computes the checksum the Check field must carry for this header and
 // payload: CRC32-C over the encoded header bytes before Check, extended over
 // the payload.

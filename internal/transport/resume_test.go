@@ -18,8 +18,8 @@ import (
 func faultyFirstDial(plan faultnet.Plan, j *faultnet.Journal) (func(string) (net.Conn, error), *atomic.Int32) {
 	var dials atomic.Int32
 	return func(spec string) (net.Conn, error) {
-		network, addr := SplitAddr(spec)
-		nc, err := net.Dial(network, addr)
+		sp, _ := ParseSpec(spec)
+		nc, err := net.Dial(sp.Scheme, sp.Addr)
 		if err != nil {
 			return nil, err
 		}
@@ -189,8 +189,8 @@ func TestResumeRetryBudgetExhaustion(t *testing.T) {
 		if dials.Add(1) > 1 {
 			return nil, errors.New("induced dial failure")
 		}
-		network, addr := SplitAddr(spec)
-		nc, err := net.Dial(network, addr)
+		sp, _ := ParseSpec(spec)
+		nc, err := net.Dial(sp.Scheme, sp.Addr)
 		if err != nil {
 			return nil, err
 		}
@@ -235,8 +235,8 @@ func TestResumeRefusedForUnknownSession(t *testing.T) {
 		NewSession:   stubSessions(func() *stubChecker { return &stubChecker{} }),
 		ResumeWindow: time.Minute,
 	})
-	network, addr := SplitAddr(spec)
-	nc, err := net.Dial(network, addr)
+	sp, _ := ParseSpec(spec)
+	nc, err := net.Dial(sp.Scheme, sp.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}

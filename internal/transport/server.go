@@ -108,8 +108,8 @@ type Server struct {
 	cfg ServerConfig
 
 	mu        sync.Mutex
-	listeners map[net.Listener]struct{}
-	conns     map[*Conn]struct{}
+	listeners map[FrameListener]struct{}
+	conns     map[FrameTransport]struct{}
 	parked    map[uint64]*session
 	draining  bool
 
@@ -143,8 +143,8 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	return &Server{
 		cfg:       cfg,
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[*Conn]struct{}),
+		listeners: make(map[FrameListener]struct{}),
+		conns:     make(map[FrameTransport]struct{}),
 		parked:    make(map[uint64]*session),
 		tokenSalt: uint64(time.Now().UnixNano()),
 	}
@@ -175,8 +175,10 @@ func (s *Server) ResumeStats() (parked, resumed uint64) {
 }
 
 // Serve accepts sessions on l until the listener closes (Shutdown). Each
-// session runs on its own goroutine.
-func (s *Server) Serve(l net.Listener) error {
+// session runs on its own goroutine. Wrap a bare net.Listener with
+// NewNetListener; transport.Listen returns ready-to-serve listeners for
+// every registered scheme.
+func (s *Server) Serve(l FrameListener) error {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -187,7 +189,7 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Unlock()
 
 	for {
-		nc, err := l.Accept()
+		conn, err := l.AcceptFrame()
 		if err != nil {
 			s.mu.Lock()
 			draining := s.draining
@@ -198,7 +200,6 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
-		conn := NewConn(nc)
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -255,7 +256,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // refuse sends a FrameError and gives up on the session.
-func (s *Server) refuse(conn *Conn, code, msg string) {
+func (s *Server) refuse(conn FrameTransport, code, msg string) {
 	s.logf("session refused (%s): %s", code, msg)
 	conn.WriteFrame(FrameErrorInfo, encodeJSON(&ErrorInfo{Code: code, Msg: msg}))
 }
@@ -289,9 +290,9 @@ func (s *Server) reapParkedLocked(now time.Time) {
 
 // serveSession runs one connection end to end: a Hello opens a fresh
 // session, a Resume continues a parked one.
-func (s *Server) serveSession(conn *Conn) {
-	conn.WriteTimeout = s.cfg.WriteTimeout
-	conn.ReadTimeout = s.cfg.HandshakeTimeout
+func (s *Server) serveSession(conn FrameTransport) {
+	conn.SetWriteTimeout(s.cfg.WriteTimeout)
+	conn.SetReadTimeout(s.cfg.HandshakeTimeout)
 
 	h, payload, err := conn.ReadFrame()
 	if err != nil {
@@ -304,16 +305,16 @@ func (s *Server) serveSession(conn *Conn) {
 	case FrameResume:
 		s.resumeSession(conn, h, payload)
 	default:
-		releaseBuf(payload)
+		conn.ReleasePayload(payload)
 		s.refuse(conn, "handshake", fmt.Sprintf("expected Hello or Resume, got frame type %d", h.Type))
 	}
 }
 
 // openSession handles a FrameHello: validate, build the checker, welcome.
-func (s *Server) openSession(conn *Conn, h FrameHeader, payload []byte) {
+func (s *Server) openSession(conn FrameTransport, h FrameHeader, payload []byte) {
 	var hello Hello
 	err := decodeJSON(h.Type, payload, &hello)
-	releaseBuf(payload)
+	conn.ReleasePayload(payload)
 	if err != nil {
 		s.refuse(conn, "handshake", err.Error())
 		return
@@ -372,16 +373,16 @@ func (s *Server) openSession(conn *Conn, h FrameHeader, payload []byte) {
 		return
 	}
 
-	conn.ReadTimeout = s.cfg.IdleTimeout
+	conn.SetReadTimeout(s.cfg.IdleTimeout)
 	s.runSession(conn, sn)
 }
 
 // resumeSession handles a FrameResume: look the parked session up, replay
 // what the broken connection lost, continue the stream.
-func (s *Server) resumeSession(conn *Conn, h FrameHeader, payload []byte) {
+func (s *Server) resumeSession(conn FrameTransport, h FrameHeader, payload []byte) {
 	var r Resume
 	err := decodeJSON(h.Type, payload, &r)
-	releaseBuf(payload)
+	conn.ReleasePayload(payload)
 	if err != nil {
 		s.refuse(conn, "resume", err.Error())
 		return
@@ -436,7 +437,7 @@ func (s *Server) resumeSession(conn *Conn, h FrameHeader, payload []byte) {
 		return
 	}
 
-	conn.ReadTimeout = s.cfg.IdleTimeout
+	conn.SetReadTimeout(s.cfg.IdleTimeout)
 	s.runSession(conn, sn)
 }
 
@@ -445,7 +446,7 @@ func (s *Server) resumeSession(conn *Conn, h FrameHeader, payload []byte) {
 // pooled buffer has been consumed and released, so the window also bounds
 // the server's buffered bytes. Each credit also acknowledges the consumed
 // prefix (Credit.Ack) so the client prunes its replay window.
-func (s *Server) runSession(conn *Conn, sn *session) {
+func (s *Server) runSession(conn FrameTransport, sn *session) {
 	id := sn.id
 	for {
 		h, payload, err := conn.ReadFrame()
@@ -473,7 +474,7 @@ func (s *Server) runSession(conn *Conn, sn *session) {
 		switch h.Type {
 		case FramePacket, FrameItems:
 			m, err := s.consume(sn.sess, h.Type, payload, sn.verdict != nil)
-			releaseBuf(payload)
+			conn.ReleasePayload(payload)
 			if err != nil {
 				// The checksum held, so this is a malformed payload from the
 				// client itself, not line noise — a fatal protocol error, not
@@ -508,7 +509,7 @@ func (s *Server) runSession(conn *Conn, sn *session) {
 				}
 			}
 		case FrameEnd:
-			releaseBuf(payload)
+			conn.ReleasePayload(payload)
 			v := Verdict{Mismatch: NewMismatchReport(sn.verdict), Events: sn.sess.Events()}
 			if sn.verdict == nil {
 				fin, err := sn.sess.Finish()
@@ -542,7 +543,7 @@ func (s *Server) runSession(conn *Conn, sn *session) {
 				id, v.Finished, v.Mismatch != nil, v.Events)
 			return
 		default:
-			releaseBuf(payload)
+			conn.ReleasePayload(payload)
 			s.logf("session %d: unexpected frame type %d", id, h.Type)
 			conn.WriteFrame(FrameErrorInfo, encodeJSON(&ErrorInfo{
 				Code: "decode", Msg: fmt.Sprintf("unexpected frame type %d", h.Type)}))

@@ -170,8 +170,8 @@ func TestServerRejectsProtocolMismatch(t *testing.T) {
 		NewSession: stubSessions(func() *stubChecker { return &stubChecker{} }),
 	})
 	// Dial pins Proto/WireDigest itself, so speak the handshake by hand.
-	network, addr := SplitAddr(spec)
-	nc, err := net.Dial(network, addr)
+	sp, _ := ParseSpec(spec)
+	nc, err := net.Dial(sp.Scheme, sp.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,8 +204,8 @@ func TestServerRejectsWireDigestDrift(t *testing.T) {
 	_, spec := startServer(t, ServerConfig{
 		NewSession: stubSessions(func() *stubChecker { return &stubChecker{} }),
 	})
-	network, addr := SplitAddr(spec)
-	nc, err := net.Dial(network, addr)
+	sp, _ := ParseSpec(spec)
+	nc, err := net.Dial(sp.Scheme, sp.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,113 @@
+package shmring
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// BenchmarkShmFrameRoundTrip is the ring twin of the transport package's
+// BenchmarkFrameRoundTrip (and its unix-socket variant): one full frame round
+// trip — encode, checksum, publish, consume, checksum-verify, echo back —
+// over a loopback ring pair. benchjson's shm area tracks all three in
+// BENCH_shm.json, so the file itself is the shm-vs-socket RTT comparison.
+func BenchmarkShmFrameRoundTrip(b *testing.B) {
+	client, server, err := Pair(DefaultRingBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer server.Close()
+		for {
+			h, buf, err := server.ReadFrame()
+			if err != nil {
+				return // client closed after the timed loop
+			}
+			err = server.WriteFrame(h.Type, buf)
+			server.ReleasePayload(buf)
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	payload := make([]byte, 4096) // Palladium's PacketBytes
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(2 * (transport.FrameHeaderSize + len(payload)))) // both directions
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.WriteFrame(transport.FramePacket, payload); err != nil {
+			b.Fatal(err)
+		}
+		_, buf, err := client.ReadFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(buf) != len(payload) {
+			b.Fatalf("echo returned %d bytes, want %d", len(buf), len(payload))
+		}
+		client.ReleasePayload(buf)
+	}
+	b.StopTimer()
+	client.Close()
+	<-done
+}
+
+// BenchmarkShmPackCheckZeroCopy measures the batch-pack → publish → consume →
+// checksum-verify path with the zero-copy producer API: wire items are
+// encoded by transport.AppendItems directly into a ReserveFrame slot, the
+// consumer verifies and releases the frame in place, and the per-iteration
+// allocation count must be zero — the packet bytes are written exactly once
+// (at encode time, into the shared mapping) and never copied again.
+func BenchmarkShmPackCheckZeroCopy(b *testing.B) {
+	client, server, err := Pair(DefaultRingBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	defer server.Close()
+
+	// One cycle's worth of commit items, the shape the batch packer flushes.
+	itemPayload := make([]byte, 64)
+	for i := range itemPayload {
+		itemPayload[i] = byte(i * 3)
+	}
+	items := make([]wire.Item, 16)
+	for i := range items {
+		items[i] = wire.Item{Type: 1, Core: uint8(i % 4), Slot: uint8(i), Payload: itemPayload}
+	}
+	size := transport.ItemsSize(items)
+
+	b.SetBytes(int64(transport.FrameHeaderSize + size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot, err := client.ReserveFrame(size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		enc, err := transport.AppendItems(slot[:0], items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := client.CommitFrame(transport.FrameItems, len(enc)); err != nil {
+			b.Fatal(err)
+		}
+		fh, payload, err := server.ReadFrame() // CRC-verifies in place
+		if err != nil {
+			b.Fatal(err)
+		}
+		if int(fh.Length) != size {
+			b.Fatalf("consumed %d bytes, want %d", fh.Length, size)
+		}
+		server.ReleasePayload(payload)
+	}
+}

@@ -1,0 +1,54 @@
+package shmring
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// FuzzShmRingFrame publishes one well-formed frame into a ring, flips one
+// byte of the shared mapping — a misbehaving peer or a stray write through
+// the mmap — and asserts the reader never delivers silently corrupted data:
+// every flip inside the published frame must surface a typed error (never a
+// bare io.EOF, never a clean payload with the wrong bytes), and nothing may
+// panic or read out of bounds.
+func FuzzShmRingFrame(f *testing.F) {
+	f.Add([]byte{}, uint32(0), byte(0))
+	f.Add([]byte("hello"), uint32(0), byte(0x80))  // flip in magic
+	f.Add([]byte("hello"), uint32(8), byte(0x01))  // flip in length
+	f.Add([]byte("hello"), uint32(20), byte(0xff)) // flip in checksum
+	f.Add([]byte("hello"), uint32(24), byte(0x55)) // flip in payload
+	f.Add(make([]byte, 4096), uint32(30), byte(0x10))
+	f.Fuzz(func(t *testing.T, data []byte, off uint32, flip byte) {
+		const ringBytes = 1 << 16
+		if len(data) > maxPayload(ringBytes) {
+			data = data[:maxPayload(ringBytes)]
+		}
+		cl, srv, err := Pair(ringBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		defer srv.Close()
+		if err := cl.WriteFrame(transport.FramePacket, data); err != nil {
+			t.Fatal(err)
+		}
+		total := transport.FrameHeaderSize + len(data)
+		pos := int(off) % total
+		cl.wr.data[pos] ^= flip | 1 // always a real flip
+
+		srv.SetReadTimeout(0) // data is already published; reads never block
+		fh, payload, rerr := srv.ReadFrame()
+		if rerr == nil {
+			t.Fatalf("flipped byte %d of a %d-byte frame delivered cleanly (type %d, %d payload bytes)",
+				pos, total, fh.Type, len(payload))
+		}
+		if rerr == io.EOF {
+			t.Fatalf("flipped byte %d surfaced bare io.EOF; corruption must be typed", pos)
+		}
+		if payload != nil {
+			t.Fatalf("flipped frame returned an error AND a payload")
+		}
+	})
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package shmring
+
+import (
+	"errors"
+	"os"
+)
+
+// errMmapUnsupported gates the file-backed rendezvous path off on platforms
+// without mmap; in-process Pair connections still work everywhere.
+var errMmapUnsupported = errors.New("shmring: mmap unsupported on this platform")
+
+// mmapFile always fails here: shm:// rendezvous needs a unix platform.
+func mmapFile(*os.File, int) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnsupported
+}

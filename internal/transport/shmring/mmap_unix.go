@@ -1,0 +1,28 @@
+//go:build unix
+
+package shmring
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// errMmapUnsupported is never returned on unix; it exists so platform
+// capability checks compile on both build flavors.
+var errMmapUnsupported = errors.New("shmring: mmap unsupported on this platform")
+
+// mmapFile maps size bytes of f shared and read-write. A nil f probes
+// platform support only (the listener's startup check).
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	if f == nil {
+		return nil, nil, nil
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shmring: mmap: %w", err)
+	}
+	return mem, func() error { return syscall.Munmap(mem) }, nil
+}

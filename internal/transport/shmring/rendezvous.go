@@ -1,0 +1,202 @@
+package shmring
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// segSuffix names rendezvous segment files; anything else in the directory
+// is ignored.
+const segSuffix = ".dth1seg"
+
+// acceptPoll is how often a listener rescans its rendezvous directory and a
+// dialer rechecks the state word. Connection setup is once per session, so a
+// short sleep beats burning a core.
+const acceptPoll = 2 * time.Millisecond
+
+// DefaultDialTimeout bounds a dial with no explicit timeout.
+const DefaultDialTimeout = 10 * time.Second
+
+// dialSeq distinguishes segment files from one process dialing the same
+// directory concurrently.
+var dialSeq atomic.Uint64
+
+// parseAddr splits an shm address into its rendezvous directory and options:
+// "DIR" or "DIR?ring=BYTES".
+func parseAddr(addr string) (dir string, ringBytes int, err error) {
+	dir, opts, _ := strings.Cut(addr, "?")
+	if dir == "" {
+		return "", 0, errors.New("shmring: empty rendezvous directory")
+	}
+	ringBytes = DefaultRingBytes
+	if opts == "" {
+		return dir, ringBytes, nil
+	}
+	for _, kv := range strings.Split(opts, "&") {
+		k, v, _ := strings.Cut(kv, "=")
+		switch k {
+		case "ring":
+			n, perr := strconv.Atoi(v)
+			if perr != nil || !validRingBytes(n) {
+				return "", 0, fmt.Errorf(
+					"shmring: ring option %q must be a power of two in [%d, %d]", v, MinRingBytes, MaxRingBytes)
+			}
+			ringBytes = n
+		default:
+			return "", 0, fmt.Errorf("shmring: unknown address option %q", k)
+		}
+	}
+	return dir, ringBytes, nil
+}
+
+// dialShm creates a segment file in the rendezvous directory, marks it
+// ready, and waits for a listener to claim it. Registered as the "shm"
+// scheme's Dial.
+func dialShm(addr string, timeout time.Duration) (transport.FrameTransport, error) {
+	dir, ringBytes, err := parseAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shmring: rendezvous dir: %w", err)
+	}
+	name := fmt.Sprintf("c%d-%d%s", os.Getpid(), dialSeq.Add(1), segSuffix)
+	path := filepath.Join(dir, name)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("shmring: create segment: %w", err)
+	}
+	size := segmentSize(ringBytes)
+	if err := f.Truncate(int64(size)); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("shmring: size segment: %w", err)
+	}
+	mem, unmap, err := mmapFile(f, size)
+	f.Close() // the mapping outlives the descriptor
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	seg := initSegment(mem, ringBytes)
+	seg.unmap = unmap
+	seg.refs.Store(1)
+	seg.state().Store(stateReady)
+
+	deadline := time.Now().Add(timeout)
+	for seg.state().Load() != stateAccepted {
+		if time.Now().After(deadline) {
+			os.Remove(path)
+			unmap()
+			return nil, fmt.Errorf("shmring: no listener claimed %s within %v", path, timeout)
+		}
+		time.Sleep(acceptPoll)
+	}
+	return newConn(seg, roleClient, "shm://"+addr), nil
+}
+
+// Listener accepts shm connections by claiming ready segment files in a
+// rendezvous directory.
+type Listener struct {
+	dir       string
+	addr      string
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+var _ transport.FrameListener = (*Listener)(nil)
+
+// listenShm opens a rendezvous directory. Registered as the "shm" scheme's
+// Listen.
+func listenShm(addr string) (transport.FrameListener, error) {
+	dir, _, err := parseAddr(addr) // a listener takes each dialer's ring size
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shmring: rendezvous dir: %w", err)
+	}
+	if _, _, merr := mmapFile(nil, 0); errors.Is(merr, errMmapUnsupported) {
+		return nil, merr
+	}
+	return &Listener{dir: dir, addr: "shm://" + addr, done: make(chan struct{})}, nil
+}
+
+// Addr reports the rendezvous spec.
+func (l *Listener) Addr() string { return l.addr }
+
+// Close stops the accept loop; blocked AcceptFrame calls return an error.
+func (l *Listener) Close() error {
+	l.closeOnce.Do(func() { close(l.done) })
+	return nil
+}
+
+// AcceptFrame claims the next ready segment: map it, CAS the state word so
+// exactly one listener wins it, and unlink the file — both sides hold
+// mappings, so nothing remains on disk for the connection's lifetime.
+func (l *Listener) AcceptFrame() (transport.FrameTransport, error) {
+	for {
+		select {
+		case <-l.done:
+			return nil, errors.New("shmring: listener closed")
+		default:
+		}
+		entries, err := os.ReadDir(l.dir)
+		if err != nil {
+			return nil, fmt.Errorf("shmring: rendezvous dir: %w", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), segSuffix) {
+				continue
+			}
+			if conn := l.claim(filepath.Join(l.dir, e.Name())); conn != nil {
+				return conn, nil
+			}
+		}
+		select {
+		case <-l.done:
+			return nil, errors.New("shmring: listener closed")
+		case <-time.After(acceptPoll):
+		}
+	}
+}
+
+// claim tries to win one candidate segment file; nil means it was invalid,
+// not ready, or another listener got there first.
+func (l *Listener) claim(path string) *Conn {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil
+	}
+	fi, err := f.Stat()
+	if err != nil || fi.Size() < int64(headerPages*pageSize) || fi.Size() > int64(segmentSize(MaxRingBytes)) {
+		f.Close()
+		return nil
+	}
+	mem, unmap, err := mmapFile(f, int(fi.Size()))
+	f.Close()
+	if err != nil {
+		return nil
+	}
+	seg, err := openSegment(mem)
+	if err != nil || !seg.state().CompareAndSwap(stateReady, stateAccepted) {
+		unmap()
+		return nil
+	}
+	seg.unmap = unmap
+	seg.refs.Store(1)
+	os.Remove(path)
+	return newConn(seg, roleServer, l.addr)
+}

@@ -1,0 +1,252 @@
+// Package shmring is the same-host fast path of the transport seam: a pair of
+// mmap-backed lock-free SPSC ring buffers (one per direction) carrying the
+// DTH1 v2 frame layout byte-identically to the socket transports, with no
+// syscall and no data copy on the receive path.
+//
+// A connection is one shared segment:
+//
+//	offset            size       content
+//	0                 4096       segment header: magic, version, ring bytes,
+//	                             rendezvous state word
+//	4096              4096       ring 0 control: head | producer-closed ·
+//	                             (cache line) · tail | consumer-closed
+//	8192              4096       ring 1 control (same layout)
+//	12288             ringBytes  ring 0 data  (client → server)
+//	12288+ringBytes   ringBytes  ring 1 data  (server → client)
+//
+// head and tail are monotonic uint64 byte counters (never wrapped); a ring
+// position is counter & (ringBytes-1), so full (head-tail == ringBytes) and
+// empty (head == tail) need no wasted slot. The producer owns head, the
+// consumer owns tail, and each side only ever stores its own counter —
+// single-producer/single-consumer with one atomic publish per frame.
+//
+// Memory ordering: the producer writes the frame bytes into the data region
+// first, then stores head; the consumer loads head, then reads the frame
+// bytes. Go's sync/atomic operations are sequentially consistent, so the
+// head store is a release and the head load an acquire — every data byte
+// written before the publish is visible after the observation. The tail
+// store after consumption is the same fence in the other direction, keeping
+// the producer from overwriting a payload the consumer still aliases.
+//
+// Frames never wrap: a frame that would cross the ring end is preceded by a
+// pad that skips to the boundary, so every header and payload is one
+// contiguous mmap slice. The pad protocol is deterministic on both sides —
+// if the contiguous tail of the ring is shorter than a frame header the
+// consumer skips it unconditionally; otherwise a padMagic word marks the
+// skip. The producer publishes pad+frame with a single head store, so the
+// consumer never observes a bare pad at the head of the ring.
+//
+// Waiting is futex-free spin-then-park: a bounded burst of
+// runtime.Gosched() yields (the ring usually turns over within a scheduling
+// quantum), then escalating short sleeps. Parks are counted per side and
+// surface as transport.LinkStats — the networked analogue of the pipeline's
+// stall counters, telling the sweep which side of the ring is the
+// bottleneck.
+//
+// Importing the package registers the "shm" scheme, so
+// transport.DialFrame("shm:///dir") and transport.Listen("shm:///dir") work
+// after a blank import. Rendezvous is a directory: the dialer creates and
+// maps a segment file, marks it ready, and waits; the listener polls the
+// directory, claims ready segments with a CAS, and unlinks the file — both
+// sides keep their mappings, so an accepted connection leaves nothing on
+// disk.
+package shmring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/transport"
+)
+
+const (
+	// segMagic marks a segment header ("DTHS" little-endian).
+	segMagic uint32 = 0x53485444
+	// segVersion is the segment layout version; bump on incompatible changes.
+	segVersion uint32 = 1
+
+	// pageSize is the header/control page granularity.
+	pageSize = 4096
+	// headerPages is the fixed prefix before ring data: segment header plus
+	// one control page per ring, keeping each side's hot words on pages (and
+	// cache lines) of their own.
+	headerPages = 3
+
+	// padMagic marks a pad-to-wrap skip in ring data. Distinct from
+	// transport.FrameMagic, which every real frame starts with.
+	padMagic uint32 = 0x30444150 // "PAD0"
+
+	// DefaultRingBytes is the per-direction ring size when the address spec
+	// carries no ?ring= option.
+	DefaultRingBytes = 1 << 20
+	// MinRingBytes bounds the smallest usable ring (one page).
+	MinRingBytes = pageSize
+	// MaxRingBytes bounds the mapping size a spec can request.
+	MaxRingBytes = 1 << 30
+)
+
+// Rendezvous states, held in the segment header's state word.
+const (
+	stateInit     uint32 = 0 // dialer still initializing the segment
+	stateReady    uint32 = 1 // dialer done; segment claimable by a listener
+	stateAccepted uint32 = 2 // a listener claimed it
+)
+
+// Segment header field offsets (within page 0).
+const (
+	offMagic     = 0
+	offVersion   = 4
+	offRingBytes = 8
+	offState     = 16
+)
+
+// Ring control field offsets (within a ring's control page). The producer's
+// words and the consumer's words sit on separate cache lines so the two
+// sides never false-share.
+const (
+	offHead       = 0
+	offProdClosed = 8
+	offTail       = 64
+	offConsClosed = 72
+)
+
+// segmentSize is the file/mapping size for a ring size.
+func segmentSize(ringBytes int) int { return headerPages*pageSize + 2*ringBytes }
+
+// validRingBytes reports whether n is a usable power-of-two ring size.
+func validRingBytes(n int) bool {
+	return n >= MinRingBytes && n <= MaxRingBytes && n&(n-1) == 0
+}
+
+// maxPayload is the largest payload a ring can carry while the pad-to-wrap
+// protocol still guarantees progress: a frame plus its worst-case pad must
+// fit in an empty ring, and the pad is always shorter than the frame that
+// triggered it, so half the ring (minus the header) is always safe.
+func maxPayload(ringBytes int) int {
+	n := ringBytes/2 - transport.FrameHeaderSize
+	if n > transport.MaxFrameBytes {
+		n = transport.MaxFrameBytes
+	}
+	return n
+}
+
+// u64at and u32at overlay atomics on mapped control words. The offsets used
+// are all 8-aligned within page-aligned mappings (and the heap constructor
+// allocates uint64-backed memory), satisfying sync/atomic's alignment rule.
+func u64at(b []byte, off int) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&b[off]))
+}
+
+func u32at(b []byte, off int) *atomic.Uint32 {
+	return (*atomic.Uint32)(unsafe.Pointer(&b[off]))
+}
+
+// segment is one mapped (or heap-backed) connection segment.
+type segment struct {
+	mem       []byte
+	ringBytes int
+	unmap     func() error // nil for heap segments
+	refs      atomic.Int32 // conns sharing this mapping (loopback pairs share)
+}
+
+// initSegment stamps a fresh segment header into mem (len == segmentSize).
+func initSegment(mem []byte, ringBytes int) *segment {
+	for i := 0; i < headerPages*pageSize; i++ {
+		mem[i] = 0
+	}
+	binary.LittleEndian.PutUint32(mem[offMagic:], segMagic)
+	binary.LittleEndian.PutUint32(mem[offVersion:], segVersion)
+	binary.LittleEndian.PutUint64(mem[offRingBytes:], uint64(ringBytes))
+	return &segment{mem: mem, ringBytes: ringBytes}
+}
+
+// openSegment validates an existing segment mapping.
+func openSegment(mem []byte) (*segment, error) {
+	if len(mem) < headerPages*pageSize {
+		return nil, fmt.Errorf("shmring: segment too small (%d bytes)", len(mem))
+	}
+	if m := binary.LittleEndian.Uint32(mem[offMagic:]); m != segMagic {
+		return nil, fmt.Errorf("shmring: bad segment magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(mem[offVersion:]); v != segVersion {
+		return nil, fmt.Errorf("shmring: segment version %d (this binary speaks %d)", v, segVersion)
+	}
+	rb := binary.LittleEndian.Uint64(mem[offRingBytes:])
+	if rb > MaxRingBytes || !validRingBytes(int(rb)) {
+		return nil, fmt.Errorf("shmring: segment ring size %d is not a usable power of two", rb)
+	}
+	if len(mem) != segmentSize(int(rb)) {
+		return nil, fmt.Errorf("shmring: segment is %d bytes, want %d for %d-byte rings",
+			len(mem), segmentSize(int(rb)), rb)
+	}
+	return &segment{mem: mem, ringBytes: int(rb)}, nil
+}
+
+// state exposes the rendezvous word.
+func (s *segment) state() *atomic.Uint32 { return u32at(s.mem, offState) }
+
+// ring returns the i'th ring (0 or 1) as control-word pointers plus its data
+// region.
+func (s *segment) ring(i int) ring {
+	ctrl := s.mem[(1+i)*pageSize : (2+i)*pageSize]
+	dataOff := headerPages*pageSize + i*s.ringBytes
+	return ring{
+		head:       u64at(ctrl, offHead),
+		prodClosed: u32at(ctrl, offProdClosed),
+		tail:       u64at(ctrl, offTail),
+		consClosed: u32at(ctrl, offConsClosed),
+		data:       s.mem[dataOff : dataOff+s.ringBytes : dataOff+s.ringBytes],
+		mask:       uint64(s.ringBytes - 1),
+	}
+}
+
+// release drops one reference; the last one unmaps.
+func (s *segment) release() error {
+	if s.refs.Add(-1) > 0 || s.unmap == nil {
+		return nil
+	}
+	return s.unmap()
+}
+
+// ring is one direction's shared state: the producer owns head and
+// prodClosed, the consumer owns tail and consClosed; each side only loads
+// the other's words.
+type ring struct {
+	head       *atomic.Uint64
+	prodClosed *atomic.Uint32
+	tail       *atomic.Uint64
+	consClosed *atomic.Uint32
+	data       []byte
+	mask       uint64
+}
+
+// Pair returns the two ends of an in-process connection over an anonymous
+// heap segment — the loopback form tests and benchmarks use when no
+// cross-process rendezvous is needed.
+func Pair(ringBytes int) (client, server *Conn, err error) {
+	if ringBytes <= 0 {
+		ringBytes = DefaultRingBytes
+	}
+	if !validRingBytes(ringBytes) {
+		return nil, nil, fmt.Errorf("shmring: ring size %d is not a power of two in [%d, %d]",
+			ringBytes, MinRingBytes, MaxRingBytes)
+	}
+	// Back the segment with uint64s so the control-word atomics are aligned.
+	words := make([]uint64, segmentSize(ringBytes)/8)
+	mem := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), segmentSize(ringBytes))
+	seg := initSegment(mem, ringBytes)
+	seg.refs.Store(2)
+	return newConn(seg, roleClient, "shm://(loopback)"),
+		newConn(seg, roleServer, "shm://(loopback)"), nil
+}
+
+// init registers the scheme: a blank import of this package makes
+// "shm://dir" specs dialable and listenable through the transport registry.
+func init() {
+	transport.RegisterScheme("shm", transport.Scheme{
+		Dial:   dialShm,
+		Listen: listenShm,
+	})
+}

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec is one parsed transport address: a scheme naming the transport
+// family and the family's address form.
+//
+//	tcp://host:port   TCP socket; Addr is "host:port"
+//	unix:///path      Unix-domain socket; Addr is "/path"
+//	shm:///path       shared-memory ring rendezvous directory; Addr is
+//	                  "/path" plus any "?key=value" options the scheme
+//	                  understands (shmring parses "?ring=<bytes>")
+//
+// Two legacy forms predate the unified syntax and stay accepted so existing
+// flags and scripts keep working: "unix:<path>" and a bare "host:port"
+// (TCP). Every binary — transport.Dial, difftestd -listen, difftest
+// -remote — parses specs through this one helper.
+type Spec struct {
+	Scheme string // "tcp", "unix", "shm", or a registered scheme
+	Addr   string
+}
+
+// String reassembles the canonical spec form.
+func (s Spec) String() string { return s.Scheme + "://" + s.Addr }
+
+// ParseSpec parses an address spec into its scheme and address. Unknown
+// schemes parse fine — resolution against the registry happens at
+// Dial/Listen time — but an empty address is rejected for every scheme.
+func ParseSpec(spec string) (Spec, error) {
+	if spec == "" {
+		return Spec{}, fmt.Errorf("transport: empty address spec")
+	}
+	if scheme, rest, ok := strings.Cut(spec, "://"); ok {
+		if scheme == "" {
+			return Spec{}, fmt.Errorf("transport: address spec %q has an empty scheme", spec)
+		}
+		if rest == "" {
+			return Spec{}, fmt.Errorf("transport: address spec %q has an empty address", spec)
+		}
+		return Spec{Scheme: scheme, Addr: rest}, nil
+	}
+	// Legacy "unix:<path>" (PR 4's original syntax).
+	if path, ok := strings.CutPrefix(spec, "unix:"); ok {
+		if path == "" {
+			return Spec{}, fmt.Errorf("transport: address spec %q has an empty path", spec)
+		}
+		return Spec{Scheme: "unix", Addr: path}, nil
+	}
+	// Legacy bare "host:port".
+	return Spec{Scheme: "tcp", Addr: spec}, nil
+}

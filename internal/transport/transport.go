@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FrameTransport is the seam every frame producer and consumer programs
+// against: the socket-backed Conn, the shared-memory ring
+// (internal/transport/shmring), and any future link all present the same
+// contract, so the client, the server, difftestd, and cosim's remote mode
+// never see a net.Conn.
+//
+// Ownership contract: WriteFrame does not retain payload. ReadFrame returns
+// a payload the transport owns the lifecycle of — release it with
+// ReleasePayload on the same transport once consumed, before the next
+// ReadFrame on transports that recycle slots in order (the shm ring does;
+// socket transports merely return the buffer to the pool). A nil payload
+// (zero-length frame) needs no release.
+type FrameTransport interface {
+	// WriteFrame sends one frame; payload is not retained.
+	WriteFrame(typ uint8, payload []byte) error
+	// ReadFrame reads one frame. Error contract: bare io.EOF only when the
+	// peer closed cleanly at a frame boundary; everything else is a typed
+	// *FrameError.
+	ReadFrame() (FrameHeader, []byte, error)
+	// ReleasePayload returns a ReadFrame payload to its owner: the buffer
+	// pool for socket transports, the ring slot for shm. nil is a no-op.
+	ReleasePayload(buf []byte)
+	// SetReadTimeout bounds one blocking ReadFrame (0 = no deadline).
+	SetReadTimeout(d time.Duration)
+	// SetWriteTimeout bounds one WriteFrame flush (0 = no deadline).
+	SetWriteTimeout(d time.Duration)
+	// SetDeadlineNow interrupts any blocked read or write; the server's
+	// forced-drain path uses it.
+	SetDeadlineNow()
+	// RemoteAddr reports the peer address for logging.
+	RemoteAddr() string
+	// Close tears the transport down; blocked peers observe EOF or an error.
+	Close() error
+}
+
+// LinkStats is optional transport-level instrumentation: transports that
+// wait by spinning-then-parking (the shm ring) report how often each side
+// had to park. Socket transports block in the kernel and report nothing.
+type LinkStats struct {
+	// WriterParks counts WriteFrame waits that outlasted the spin phase
+	// (ring full: the consumer is the bottleneck).
+	WriterParks uint64
+	// ReaderParks counts ReadFrame waits that outlasted the spin phase
+	// (ring empty: the producer is the bottleneck).
+	ReaderParks uint64
+}
+
+// StatsReporter is implemented by transports that carry LinkStats.
+type StatsReporter interface {
+	LinkStats() LinkStats
+}
+
+// FrameListener accepts inbound FrameTransports: the server side of the
+// seam. transport.Listen resolves an address spec to the right
+// implementation.
+type FrameListener interface {
+	// AcceptFrame blocks for the next inbound transport.
+	AcceptFrame() (FrameTransport, error)
+	// Addr reports the bound address for logging.
+	Addr() string
+	// Close stops accepting; a blocked AcceptFrame returns an error.
+	Close() error
+}
+
+// netListener adapts a net.Listener to the FrameListener seam, wrapping each
+// accepted connection in a framed Conn.
+type netListener struct {
+	l net.Listener
+}
+
+// NewNetListener wraps an existing net.Listener (including fault-injection
+// wrappers like faultnet.Listener) as a FrameListener.
+func NewNetListener(l net.Listener) FrameListener { return &netListener{l: l} }
+
+func (n *netListener) AcceptFrame() (FrameTransport, error) {
+	nc, err := n.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+func (n *netListener) Addr() string { return n.l.Addr().String() }
+func (n *netListener) Close() error { return n.l.Close() }
+
+// Scheme is one registered transport family: how to dial a client transport
+// and how to open a listener for its address form.
+type Scheme struct {
+	// Dial connects to addr (the spec with the "<scheme>://" prefix
+	// stripped) within timeout.
+	Dial func(addr string, timeout time.Duration) (FrameTransport, error)
+	// Listen binds addr for inbound transports.
+	Listen func(addr string) (FrameListener, error)
+}
+
+var (
+	schemeMu sync.RWMutex
+	schemes  = make(map[string]Scheme)
+)
+
+// RegisterScheme installs a transport family under a spec scheme (e.g.
+// "shm"); shmring registers itself in an init so importing it is enough.
+// tcp and unix are built in and cannot be replaced.
+func RegisterScheme(name string, s Scheme) {
+	if name == "tcp" || name == "unix" {
+		panic(fmt.Sprintf("transport: scheme %q is built in", name))
+	}
+	schemeMu.Lock()
+	defer schemeMu.Unlock()
+	if _, dup := schemes[name]; dup {
+		panic(fmt.Sprintf("transport: scheme %q registered twice", name))
+	}
+	schemes[name] = s
+}
+
+// registeredScheme looks a non-builtin scheme up.
+func registeredScheme(name string) (Scheme, bool) {
+	schemeMu.RLock()
+	defer schemeMu.RUnlock()
+	s, ok := schemes[name]
+	return s, ok
+}
+
+// SchemeNames lists the dialable schemes (built-ins plus registered), for
+// error messages and -list style output.
+func SchemeNames() []string {
+	schemeMu.RLock()
+	defer schemeMu.RUnlock()
+	names := []string{"tcp", "unix"}
+	for n := range schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DialFrame resolves an address spec (see ParseSpec) and connects the
+// matching transport: tcp and unix produce a framed socket Conn; registered
+// schemes (shm) produce their own FrameTransport.
+func DialFrame(spec string, timeout time.Duration) (FrameTransport, error) {
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := registeredScheme(sp.Scheme); ok {
+		return s.Dial(sp.Addr, timeout)
+	}
+	switch sp.Scheme {
+	case "tcp", "unix":
+		nc, err := net.DialTimeout(sp.Scheme, sp.Addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return NewConn(nc), nil
+	}
+	return nil, fmt.Errorf("transport: unknown scheme %q in %q (have %v)", sp.Scheme, spec, SchemeNames())
+}
+
+// Listen opens a FrameListener for an address spec (see ParseSpec).
+func Listen(spec string) (FrameListener, error) {
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := registeredScheme(sp.Scheme); ok {
+		return s.Listen(sp.Addr)
+	}
+	switch sp.Scheme {
+	case "tcp", "unix":
+		l, err := net.Listen(sp.Scheme, sp.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return NewNetListener(l), nil
+	}
+	return nil, fmt.Errorf("transport: unknown scheme %q in %q (have %v)", sp.Scheme, spec, SchemeNames())
+}

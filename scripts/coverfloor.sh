@@ -16,6 +16,7 @@ GO="${GO:-go}"
 # "import/path floor" pairs. POSIX sh has no arrays; one pair per line.
 FLOORS='
 repro/internal/transport 85
+repro/internal/transport/shmring 85
 repro/internal/faultnet 85
 repro/internal/benchjson 85
 '
