@@ -19,13 +19,18 @@ vet:
 	$(GO) vet -copylocks -loopclosure ./...
 
 # Project-specific static analysis (cmd/difftestlint): wire-struct layout,
-# pool release discipline, use-after-release, and Kind-switch exhaustiveness.
-# Two entry points, both enforced:
+# pool release discipline, use-after-release, Kind-switch exhaustiveness,
+# atomic-word access discipline, deadline arm/clear pairing, and frame-kind
+# dispatch exhaustiveness. Four gates, all enforced:
 #   - standalone: difftestlint ./...      (non-test sources, full repo walk)
+#   - audit:      difftestlint -audit     (fails on stale //lint:ignore)
+#   - SARIF:      bin/lint.sarif          (machine-readable, uploaded by CI)
 #   - vettool:    go vet -vettool=...     (includes _test.go files)
 lint:
 	$(GO) build -o bin/difftestlint ./cmd/difftestlint
 	./bin/difftestlint ./...
+	./bin/difftestlint -audit ./...
+	./bin/difftestlint -format=sarif -o bin/lint.sarif ./...
 	$(GO) vet -vettool=$(CURDIR)/bin/difftestlint ./...
 
 fmt-check:

@@ -1,15 +1,21 @@
 // Command difftestlint runs the project's static-analysis suite — the
-// wirestruct, poolcheck, useafterrelease, and kindswitch analyzers from
-// internal/lint — over the given package patterns, printing one
-// file:line:col finding per violated invariant and exiting non-zero when
-// anything is found.
+// wirestruct, poolcheck, useafterrelease, kindswitch, atomicfield,
+// deadlinepair, and framekind analyzers from internal/lint — over the given
+// package patterns, printing one file:line:col finding per violated
+// invariant and exiting non-zero when anything is found.
 //
 // Usage:
 //
-//	difftestlint [-analyzers a,b] [-dir moduleRoot] [patterns...]
+//	difftestlint [-analyzers a,b] [-dir moduleRoot] [-format text|sarif] [-o file] [-audit] [patterns...]
 //
-// Patterns default to ./... and are resolved with `go list`. The binary
-// also speaks the `go vet -vettool` protocol, so
+// Patterns default to ./... and are resolved with `go list`. -format=sarif
+// emits a SARIF 2.1.0 log (suppressed findings included, with their
+// //lint:ignore justifications) for CI annotation tooling; -o redirects the
+// report to a file. -audit prints the suppression inventory — every
+// //lint:ignore directive with its reason and what it silences — and fails
+// on stale directives that suppress nothing.
+//
+// The binary also speaks the `go vet -vettool` protocol, so
 //
 //	go vet -vettool=$(pwd)/bin/difftestlint ./...
 //
@@ -19,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,6 +42,9 @@ func main() {
 		analyzerList = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		dir          = flag.String("dir", "", "directory to resolve patterns from (default: current)")
 		docs         = flag.Bool("doc", false, "print each analyzer's enforced invariant and exit")
+		format       = flag.String("format", "text", "report format: text or sarif")
+		out          = flag.String("o", "", "write the report to this file (default: stdout)")
+		audit        = flag.Bool("audit", false, "print the //lint:ignore inventory and fail on stale directives")
 	)
 	flag.Parse()
 
@@ -43,6 +53,10 @@ func main() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "difftestlint: unknown format %q (have: text, sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	var names []string
@@ -71,16 +85,70 @@ func main() {
 		os.Exit(2)
 	}
 
-	findings, err := lint.Run(pkgs, analyzers)
+	rep, err := lint.RunReport(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "difftestlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f.String())
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "difftestlint: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		w = f
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "difftestlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+
+	if *audit {
+		os.Exit(runAudit(w, rep))
+	}
+
+	switch *format {
+	case "sarif":
+		base, _ := os.Getwd()
+		if *dir != "" {
+			base = *dir
+		}
+		if err := lint.WriteSARIF(w, analyzers, rep, base); err != nil {
+			fmt.Fprintf(os.Stderr, "difftestlint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range rep.Findings {
+			fmt.Fprintln(w, f.String())
+		}
+	}
+	if len(rep.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "difftestlint: %d finding(s) in %d package(s)\n", len(rep.Findings), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// runAudit prints every //lint:ignore directive with its justification and
+// suppression count, returning exit code 1 when any directive is stale.
+// (Stale directives also fail a plain run as DriverName findings; the audit
+// is the human-readable inventory of what the tree has excused and why.)
+func runAudit(w io.Writer, rep lint.Report) int {
+	counts := make(map[string]int)
+	for _, s := range rep.Suppressed {
+		counts[s.DirectivePos.String()]++
+	}
+	stale := 0
+	for _, d := range rep.Directives {
+		status := fmt.Sprintf("suppresses %d finding(s)", counts[d.Pos.String()])
+		if !d.Used {
+			status = "STALE: suppresses nothing"
+			stale++
+		}
+		fmt.Fprintf(w, "%s: //lint:ignore %s — %s (%s)\n", d.Pos, d.Analyzer, d.Reason, status)
+	}
+	fmt.Fprintf(w, "difftestlint: %d directive(s), %d suppression(s), %d stale\n",
+		len(rep.Directives), len(rep.Suppressed), stale)
+	if stale > 0 {
+		return 1
+	}
+	return 0
 }

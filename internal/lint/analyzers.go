@@ -2,7 +2,10 @@ package lint
 
 // All returns the project's analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{WireStruct, PoolCheck, UseAfterRelease, KindSwitch}
+	return []*Analyzer{
+		WireStruct, PoolCheck, UseAfterRelease, KindSwitch,
+		AtomicField, DeadlinePair, FrameKind,
+	}
 }
 
 // ByName resolves a comma-separated analyzer selection; an empty selection

@@ -23,10 +23,22 @@ func TestKindSwitch(t *testing.T) {
 	linttest.Run(t, "testdata/kindswitch", lint.KindSwitch)
 }
 
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "testdata/atomicfield", lint.AtomicField)
+}
+
+func TestDeadlinePair(t *testing.T) {
+	linttest.Run(t, "testdata/deadlinepair", lint.DeadlinePair)
+}
+
+func TestFrameKind(t *testing.T) {
+	linttest.Run(t, "testdata/framekind", lint.FrameKind)
+}
+
 func TestAllAndByName(t *testing.T) {
 	all := lint.All()
-	if len(all) != 4 {
-		t.Fatalf("All() = %d analyzers, want 4", len(all))
+	if len(all) != 7 {
+		t.Fatalf("All() = %d analyzers, want 7", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {

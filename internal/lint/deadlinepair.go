@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeadlinePair enforces the arm/clear discipline on connection deadlines —
+// the stale-deadline class where a bounded phase (a dial handshake) arms
+// SetReadDeadline/SetReadTimeout and an early return leaks the armed
+// deadline into a phase that expects an unbounded connection, killing it
+// with a spurious timeout.
+//
+// Tracked calls are methods named SetReadDeadline/SetReadTimeout (kind
+// "read") and SetWriteDeadline/SetWriteTimeout (kind "write") on a plain
+// identifier receiver — a parameter or local connection. A call whose
+// argument is not provably zero (the literal 0, or time.Time{}) arms the
+// deadline; a zero argument clears it.
+//
+// The discipline is consistency-scoped per function and kind: a function
+// that never clears a kind is presumed to arm it for a phase that outlives
+// the function (a session-lifetime write bound, an idle-reap horizon) and is
+// left alone. A function that clears the kind on some path has opted into
+// local pairing, and then every path out of the function must leave the
+// deadline disposed:
+//
+//   - cleared (a zero-argument Set of the same kind), or
+//   - re-armed and then disposed later on the same path, or
+//   - the connection Close()d, or
+//   - the connection handed off — passed as an argument in a statement-level,
+//     go, or defer call, transferring the discipline to the callee.
+//
+// The error return of a failed Set call itself is exempt: the deadline never
+// took effect. Branches merge conservatively (armed on any branch is armed
+// after the merge), so a path that forgets the clear is reported even when a
+// sibling path remembers it.
+var DeadlinePair = &Analyzer{
+	Name: "deadlinepair",
+	Doc:  "a function that clears a connection deadline must clear, close, or hand off on every path out — no early return may leak an armed deadline",
+	Run:  runDeadlinePair,
+}
+
+// dlKind distinguishes the two deadline families.
+type dlKind int
+
+const (
+	dlRead dlKind = iota
+	dlWrite
+)
+
+func (k dlKind) String() string {
+	if k == dlRead {
+		return "read"
+	}
+	return "write"
+}
+
+// dlMethod resolves a tracked method name to its kind.
+func dlMethod(name string) (dlKind, bool) {
+	switch name {
+	case "SetReadDeadline", "SetReadTimeout":
+		return dlRead, true
+	case "SetWriteDeadline", "SetWriteTimeout":
+		return dlWrite, true
+	}
+	return 0, false
+}
+
+func runDeadlinePair(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkDeadlineFunc(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkDeadlineFunc(pass, fn.Body)
+				return false // the literal's own Inspect already covered nested bodies
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// dlKey is one tracked (receiver, kind) obligation.
+type dlKey struct {
+	recv *types.Var
+	kind dlKind
+}
+
+// dlState is the armed-deadline state along one control-flow path.
+type dlState map[dlKey]token.Pos // key -> position of the live arm
+
+func (s dlState) clone() dlState {
+	c := make(dlState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge folds o into s: armed on either path is armed after the merge (the
+// earlier arm position wins for stable diagnostics).
+func (s dlState) merge(o dlState) {
+	for k, v := range o {
+		if _, ok := s[k]; !ok {
+			s[k] = v
+		}
+	}
+}
+
+type dlChecker struct {
+	pass *Pass
+	// active is the set of (receiver, kind) pairs this function clears
+	// somewhere — the opt-in for local pairing.
+	active map[dlKey]bool
+	// deferred holds keys disposed by a defer (Close, clear, or handoff);
+	// they are considered disposed at every return.
+	deferred map[dlKey]bool
+}
+
+func checkDeadlineFunc(pass *Pass, body *ast.BlockStmt) {
+	c := &dlChecker{pass: pass, active: make(map[dlKey]bool), deferred: make(map[dlKey]bool)}
+	c.collectActive(body)
+	if len(c.active) == 0 {
+		return
+	}
+	c.walkStmts(body.List, make(dlState))
+}
+
+// collectActive finds the zero-argument Set calls that opt a (receiver,
+// kind) pair into local pairing. Function literals keep their own scope.
+func (c *dlChecker) collectActive(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, zero, ok := c.trackedCall(call)
+		if ok && zero {
+			c.active[key] = true
+		}
+		return true
+	})
+}
+
+// trackedCall matches recv.SetXxx(arg) for a tracked method on an identifier
+// receiver, reporting the obligation key and whether the argument is the
+// provable zero (clear).
+func (c *dlChecker) trackedCall(call *ast.CallExpr) (dlKey, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return dlKey{}, false, false
+	}
+	kind, ok := dlMethod(sel.Sel.Name)
+	if !ok {
+		return dlKey{}, false, false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return dlKey{}, false, false
+	}
+	v, ok := c.pass.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return dlKey{}, false, false
+	}
+	return dlKey{recv: v, kind: kind}, isZeroDeadline(c.pass, call.Args[0]), true
+}
+
+// isZeroDeadline reports whether expr is a provable "no deadline" argument:
+// the constant 0 or a zero time.Time composite literal.
+func isZeroDeadline(pass *Pass, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil {
+		return tv.Value.String() == "0"
+	}
+	if cl, ok := expr.(*ast.CompositeLit); ok && len(cl.Elts) == 0 {
+		if tv, ok := pass.Info.Types[cl]; ok {
+			if named, ok := tv.Type.(*types.Named); ok {
+				obj := named.Obj()
+				return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+			}
+		}
+	}
+	return false
+}
+
+// walkStmts interprets a statement list, threading the armed state through
+// and reporting at returns that leak an armed deadline. It returns the state
+// at the fall-through exit of the list.
+func (c *dlChecker) walkStmts(stmts []ast.Stmt, state dlState) dlState {
+	for _, stmt := range stmts {
+		state = c.walkStmt(stmt, state)
+	}
+	return state
+}
+
+func (c *dlChecker) walkStmt(stmt ast.Stmt, state dlState) dlState {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.applyExpr(s.X, state, true)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.applyExpr(rhs, state, false)
+		}
+	case *ast.GoStmt:
+		c.applyExpr(s.Call, state, true)
+	case *ast.DeferStmt:
+		// A deferred disposal covers every later return; it does not change
+		// the state at the point of the defer statement itself.
+		if key, zero, ok := c.trackedCall(s.Call); ok && zero && c.active[key] {
+			c.deferred[key] = true
+		}
+		for key := range c.disposedBy(s.Call) {
+			c.deferred[key] = true
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.applyExpr(r, state, false)
+		}
+		for key, armPos := range state {
+			if c.deferred[key] {
+				continue
+			}
+			c.pass.Reportf(s.Pos(),
+				"return leaks the %s deadline armed on %s at %s: clear it, close %s, or hand it off on this path (deadlinepair is opted in by the zero-clear elsewhere in this function)",
+				key.kind, key.recv.Name(), c.pass.Fset.Position(armPos), key.recv.Name())
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state = c.walkStmt(s.Init, state)
+		}
+		c.applyExpr(s.Cond, state, false)
+		// The direct error-return of a failed Set is exempt: the arm never
+		// took effect. Pattern: if err := recv.Set...; err != nil { return }.
+		exempt := c.setErrGuard(s)
+		thenState := state.clone()
+		if exempt != (dlKey{}) {
+			delete(thenState, exempt)
+		}
+		thenOut := c.walkStmts(s.Body.List, thenState)
+		elseState := state.clone()
+		var elseOut dlState
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseOut = c.walkStmts(e.List, elseState)
+		case *ast.IfStmt:
+			elseOut = c.walkStmt(e, elseState)
+		default:
+			elseOut = elseState
+		}
+		if endsInJump(s.Body) {
+			return elseOut
+		}
+		thenOut.merge(elseOut)
+		return thenOut
+	case *ast.ForStmt:
+		if s.Init != nil {
+			state = c.walkStmt(s.Init, state)
+		}
+		if s.Cond != nil {
+			c.applyExpr(s.Cond, state, false)
+		}
+		bodyOut := c.walkStmts(s.Body.List, state.clone())
+		if s.Post != nil {
+			bodyOut = c.walkStmt(s.Post, bodyOut)
+		}
+		state.merge(bodyOut)
+		return state
+	case *ast.RangeStmt:
+		c.applyExpr(s.X, state, false)
+		bodyOut := c.walkStmts(s.Body.List, state.clone())
+		state.merge(bodyOut)
+		return state
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			state = c.walkStmt(s.Init, state)
+		}
+		if s.Tag != nil {
+			c.applyExpr(s.Tag, state, false)
+		}
+		return c.walkClauses(s.Body, state)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			state = c.walkStmt(s.Init, state)
+		}
+		return c.walkClauses(s.Body, state)
+	case *ast.SelectStmt:
+		return c.walkClauses(s.Body, state)
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, state)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, state)
+	}
+	return state
+}
+
+// walkClauses runs each case/comm clause from the pre-switch state and
+// merges the survivors.
+func (c *dlChecker) walkClauses(body *ast.BlockStmt, state dlState) dlState {
+	out := state.clone()
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				stmts = append([]ast.Stmt{cl.Comm}, cl.Body...)
+			} else {
+				stmts = cl.Body
+			}
+		}
+		out.merge(c.walkStmts(stmts, state.clone()))
+	}
+	return out
+}
+
+// applyExpr scans expr for tracked calls, closes, and handoffs, mutating
+// state. statementLevel marks statement-position calls, where passing the
+// receiver as an argument counts as a handoff.
+func (c *dlChecker) applyExpr(expr ast.Expr, state dlState, statementLevel bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate scope, analyzed on its own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.applyCall(call, state, statementLevel)
+		return true
+	})
+}
+
+// applyCall folds one call's effect into state.
+func (c *dlChecker) applyCall(call *ast.CallExpr, state dlState, statementLevel bool) {
+	if key, zero, ok := c.trackedCall(call); ok {
+		if !c.active[key] {
+			return
+		}
+		if zero {
+			delete(state, key)
+		} else {
+			state[key] = call.Pos()
+		}
+		return
+	}
+	for key := range c.disposedBy(call) {
+		if statementLevel || isCloseCall(call) {
+			delete(state, key)
+		}
+	}
+}
+
+// disposedBy reports the obligations call disposes of: a Close on the
+// tracked receiver clears all its kinds; any call taking the receiver as an
+// argument is a handoff candidate.
+func (c *dlChecker) disposedBy(call *ast.CallExpr) map[dlKey]bool {
+	out := make(map[dlKey]bool)
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+				for key := range c.active {
+					if key.recv == v {
+						out[key] = true
+					}
+				}
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+			if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+				for key := range c.active {
+					if key.recv == v {
+						out[key] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isCloseCall reports whether call is a method call named Close.
+func isCloseCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Close"
+}
+
+// setErrGuard matches `if err := recv.SetXxx(d); err != nil {...}` and
+// returns the obligation whose failed arm the then-branch may ignore.
+func (c *dlChecker) setErrGuard(s *ast.IfStmt) dlKey {
+	assign, ok := s.Init.(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return dlKey{}
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return dlKey{}
+	}
+	key, zero, ok := c.trackedCall(call)
+	if !ok || zero {
+		return dlKey{}
+	}
+	return key
+}
+
+// endsInJump reports whether the block's last statement unconditionally
+// leaves the enclosing flow (return, panic, continue, break, goto).
+func endsInJump(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

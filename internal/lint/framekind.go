@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FrameKind lifts kindswitch's exhaustiveness idea to the DTH1 protocol
+// layer: every switch that dispatches on a transport frame type must
+// explicitly name every Frame* kind the protocol declares. Unlike
+// kindswitch, a default clause does not satisfy the rule — at a protocol
+// dispatch site the default arm is the corruption/violation path, and
+// letting a newly added control frame land there silently is exactly the bug
+// class this exists to stop: the frame is checksummed, sequenced, delivered…
+// and then dropped or misread by a dispatch site nobody updated.
+//
+// The frame-kind registry is derived from the transport package itself:
+// every exported package-level uint8 constant named Frame<Kind>. A switch is
+// a dispatch site when its tag is a uint8 and at least one case names a
+// registry constant. Sites that deliberately reject a subset list the
+// rejected kinds in a case arm that falls through to (or shares) the error
+// path — the point is that `make lint` fails until every site has made a
+// decision about the new kind.
+var FrameKind = &Analyzer{
+	Name: "framekind",
+	Doc:  "every switch dispatching on a transport frame type must explicitly handle every declared Frame* kind; default only catches corruption",
+	Run:  runFrameKind,
+}
+
+// transportPackage returns the project's transport package as seen from
+// pass, or nil when not referenced.
+func transportPackage(pass *Pass) *types.Package {
+	if isTransportPath(pass.Pkg.Path()) {
+		return pass.Pkg
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if isTransportPath(imp.Path()) {
+			return imp
+		}
+	}
+	return nil
+}
+
+func isTransportPath(path string) bool {
+	return path == "repro/internal/transport" || strings.HasSuffix(path, "/internal/transport")
+}
+
+func runFrameKind(pass *Pass) error {
+	tp := transportPackage(pass)
+	if tp == nil {
+		return nil
+	}
+	kinds := frameKinds(tp)
+	if len(kinds) == 0 {
+		return nil
+	}
+	kindConsts := make(map[types.Object]bool, len(kinds))
+	for _, c := range kinds {
+		kindConsts[c] = true
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok || !isUint8(tv.Type) {
+				return true
+			}
+			if !mentionsFrameKind(pass, sw, kindConsts) {
+				return true
+			}
+			checkFrameSwitch(pass, sw, kinds)
+			return true
+		})
+	}
+	return nil
+}
+
+// frameKinds collects the frame-kind registry: exported uint8 constants
+// named Frame<Kind> in the transport package, sorted by value.
+func frameKinds(tp *types.Package) []*types.Const {
+	scope := tp.Scope()
+	var kinds []*types.Const
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Frame") || name == "Frame" {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !isUint8(c.Type()) {
+			continue
+		}
+		kinds = append(kinds, c)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		vi, _ := constant.Int64Val(constant.ToInt(kinds[i].Val()))
+		vj, _ := constant.Int64Val(constant.ToInt(kinds[j].Val()))
+		return vi < vj
+	})
+	return kinds
+}
+
+// isUint8 reports whether t's underlying type is uint8.
+func isUint8(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// mentionsFrameKind reports whether any case expression resolves to a
+// registry constant — the signal that this uint8 switch dispatches frames.
+func mentionsFrameKind(pass *Pass, sw *ast.SwitchStmt, kindConsts map[types.Object]bool) bool {
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if obj := exprObj(pass.Info, e); obj != nil && kindConsts[obj] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprObj resolves an identifier or selector expression to its object.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func checkFrameSwitch(pass *Pass, sw *ast.SwitchStmt, kinds []*types.Const) {
+	covered := make(map[int64]bool)
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok || cc.List == nil {
+			continue // default arm: corruption path, no coverage credit
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.Info.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range kinds {
+		v, _ := constant.Int64Val(constant.ToInt(c.Val()))
+		if !covered[v] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	shown := missing
+	const maxShown = 5
+	suffix := ""
+	if len(shown) > maxShown {
+		suffix = fmt.Sprintf(", … %d more", len(shown)-maxShown)
+		shown = shown[:maxShown]
+	}
+	pass.Reportf(sw.Pos(),
+		"frame dispatch covers %d of %d frame kinds (missing %s%s); name every kind explicitly — the default arm is for corruption, not new control frames",
+		len(kinds)-len(missing), len(kinds), strings.Join(shown, ", "), suffix)
+}

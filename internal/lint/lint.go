@@ -1,11 +1,16 @@
 // Package lint is a small, stdlib-only static-analysis framework plus the
-// four project-specific analyzers behind cmd/difftestlint. It exists because
-// the correctness of the Batch/Squash/Replay stack rests on invariants the
-// compiler cannot see: every event payload struct must stay fixed-size and
-// pointer-free (wirestruct), every pooled buffer must return to the pool on
-// every control-flow path (poolcheck), no pooled bytes may be read after
-// release (useafterrelease), and every switch over event.Kind must stay
-// exhaustive as kinds are added (kindswitch).
+// seven project-specific analyzers behind cmd/difftestlint. It exists
+// because the correctness of the Batch/Squash/Replay stack rests on
+// invariants the compiler cannot see: every event payload struct must stay
+// fixed-size and pointer-free (wirestruct), every pooled buffer must return
+// to the pool on every control-flow path (poolcheck), no pooled bytes may
+// be read after release (useafterrelease), every switch over event.Kind
+// must stay exhaustive as kinds are added (kindswitch), words accessed
+// through sync/atomic must never be accessed non-atomically and unsafe
+// overlays must prove their alignment (atomicfield), armed connection
+// deadlines must be cleared, closed, or handed off on every path out
+// (deadlinepair), and every transport frame dispatch must name every
+// declared frame kind (framekind).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // Analyzer, Pass, Reportf — but is built only on go/parser, go/types and
@@ -77,36 +82,90 @@ func (f Finding) String() string {
 // problems with ignore directives themselves.
 const DriverName = "lint"
 
+// Suppression records one finding silenced by a //lint:ignore directive,
+// keeping the justification attached to what it justified.
+type Suppression struct {
+	Finding Finding
+	Reason  string
+	// DirectivePos locates the directive comment that did the suppressing.
+	DirectivePos token.Position
+}
+
+// Directive summarizes one well-formed //lint:ignore for the suppression
+// audit. A directive with Used == false is stale: the code it excused has
+// moved or been fixed, and the directive must be deleted.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+	Used     bool
+}
+
+// Report is the full outcome of a lint run: what fired, what was silenced
+// and why, and every suppression directive seen — the raw material for the
+// SARIF encoder and the audit mode.
+type Report struct {
+	Findings   []Finding
+	Suppressed []Suppression
+	Directives []Directive
+}
+
 // Run applies the analyzers to each package, resolves //lint:ignore
 // directives, and returns the surviving findings sorted by position.
 // Directive misuse (no reason, unknown analyzer, nothing suppressed) is
 // returned as a finding under DriverName.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, pkg := range pkgs {
-		fs, err := runPackage(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		findings = append(findings, fs...)
+	rep, err := RunReport(pkgs, analyzers)
+	if err != nil {
+		return nil, err
 	}
+	return rep.Findings, nil
+}
+
+// RunReport is Run keeping the whole story: suppressed findings with their
+// justifications and the directive inventory ride along with the survivors.
+func RunReport(pkgs []*Package, analyzers []*Analyzer) (Report, error) {
+	var rep Report
+	for _, pkg := range pkgs {
+		if err := runPackage(pkg, analyzers, &rep); err != nil {
+			return Report{}, err
+		}
+	}
+	sortFindings(rep.Findings)
+	sort.Slice(rep.Suppressed, func(i, j int) bool {
+		return posLess(rep.Suppressed[i].Finding.Pos, rep.Suppressed[j].Finding.Pos)
+	})
+	sort.Slice(rep.Directives, func(i, j int) bool {
+		return posLess(rep.Directives[i].Pos, rep.Directives[j].Pos)
+	})
+	return rep, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
+		if !samePos(a.Pos, b.Pos) {
+			return posLess(a.Pos, b.Pos)
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
 }
 
-func runPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+func samePos(a, b token.Position) bool {
+	return a.Filename == b.Filename && a.Line == b.Line && a.Column == b.Column
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func runPackage(pkg *Package, analyzers []*Analyzer, rep *Report) error {
 	known := make(map[string]bool, len(analyzers))
 	var findings []Finding
 	for _, a := range analyzers {
@@ -119,7 +178,7 @@ func runPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Info:     pkg.Info,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			return fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 		}
 		for _, d := range pass.diags {
 			findings = append(findings, Finding{
@@ -131,7 +190,7 @@ func runPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 	}
 
 	dirs, bad := collectIgnores(pkg, known)
-	findings = applyIgnores(findings, dirs)
+	findings, suppressed := applyIgnores(findings, dirs)
 	for _, d := range dirs {
 		if !d.used {
 			bad = append(bad, Finding{
@@ -140,8 +199,13 @@ func runPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 				Message:  fmt.Sprintf("lint:ignore directive for %q suppresses nothing", d.analyzer),
 			})
 		}
+		rep.Directives = append(rep.Directives, Directive{
+			Analyzer: d.analyzer, Reason: d.reason, Pos: d.pos, Used: d.used,
+		})
 	}
-	return append(findings, bad...), nil
+	rep.Findings = append(rep.Findings, append(findings, bad...)...)
+	rep.Suppressed = append(rep.Suppressed, suppressed...)
+	return nil
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.
@@ -232,16 +296,17 @@ func startsLine(pkg *Package, c *ast.Comment) bool {
 	return true
 }
 
-// applyIgnores drops findings covered by a directive, marking directives
-// used. A standalone directive covers the next line; a trailing directive
-// covers its own line.
-func applyIgnores(findings []Finding, dirs []*ignoreDirective) []Finding {
+// applyIgnores splits findings into survivors and suppressions, marking
+// directives used. A standalone directive covers the next line; a trailing
+// directive covers its own line.
+func applyIgnores(findings []Finding, dirs []*ignoreDirective) ([]Finding, []Suppression) {
 	if len(dirs) == 0 {
-		return findings
+		return findings, nil
 	}
 	kept := findings[:0]
+	var suppressed []Suppression
 	for _, f := range findings {
-		suppressed := false
+		var by *ignoreDirective
 		for _, d := range dirs {
 			if d.analyzer != f.Analyzer || d.pos.Filename != f.Pos.Filename {
 				continue
@@ -252,14 +317,20 @@ func applyIgnores(findings []Finding, dirs []*ignoreDirective) []Finding {
 			}
 			if f.Pos.Line == line {
 				d.used = true
-				suppressed = true
+				if by == nil {
+					by = d
+				}
 			}
 		}
-		if !suppressed {
+		if by == nil {
 			kept = append(kept, f)
+		} else {
+			suppressed = append(suppressed, Suppression{
+				Finding: f, Reason: by.reason, DirectivePos: by.pos,
+			})
 		}
 	}
-	return kept
+	return kept, suppressed
 }
 
 // eventPackage returns the project's event package as seen from pass (the

@@ -1,0 +1,337 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// loadReport runs analyzers over one testdata package and returns the full
+// report.
+func loadReport(t *testing.T, dir string, analyzers ...*lint.Analyzer) lint.Report {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(moduleRoot(t))
+	pkg, err := loader.LoadDir(abs, "testdata/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := lint.RunReport([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRunReportSuppressions: the ignore fixture's two justified directives
+// surface as suppressions with their reasons, and the directive inventory
+// marks both used.
+func TestRunReportSuppressions(t *testing.T) {
+	rep := loadReport(t, "testdata/ignore", lint.KindSwitch)
+
+	if len(rep.Findings) != 1 {
+		t.Fatalf("want 1 surviving finding, got %d:\n%s", len(rep.Findings), dump(rep.Findings))
+	}
+	if len(rep.Suppressed) != 2 {
+		t.Fatalf("want 2 suppressed findings, got %d", len(rep.Suppressed))
+	}
+	reasons := []string{rep.Suppressed[0].Reason, rep.Suppressed[1].Reason}
+	for _, want := range []string{"replay only routes memory kinds", "trace path only ever sees traps"} {
+		found := false
+		for _, r := range reasons {
+			found = found || strings.Contains(r, want)
+		}
+		if !found {
+			t.Errorf("no suppression carries reason %q (have %q)", want, reasons)
+		}
+	}
+	for _, s := range rep.Suppressed {
+		if s.Finding.Analyzer != "kindswitch" || s.DirectivePos.Line == 0 {
+			t.Errorf("suppression %+v lacks analyzer or directive position", s)
+		}
+	}
+	if len(rep.Directives) != 2 {
+		t.Fatalf("want 2 directives, got %d", len(rep.Directives))
+	}
+	for _, d := range rep.Directives {
+		if !d.Used {
+			t.Errorf("directive at %s reported stale; both fixture directives suppress", d.Pos)
+		}
+	}
+}
+
+// TestRunReportStaleDirective: an unused directive is flagged stale in the
+// inventory (and fails the plain run as a driver finding).
+func TestRunReportStaleDirective(t *testing.T) {
+	rep := loadReport(t, "testdata/ignorebad", lint.KindSwitch)
+	stale := 0
+	for _, d := range rep.Directives {
+		if !d.Used {
+			stale++
+		}
+	}
+	if stale != 1 {
+		t.Errorf("want exactly 1 stale directive, got %d of %d", stale, len(rep.Directives))
+	}
+	if countMatching(rep.Findings, lint.DriverName, "suppresses nothing") != 1 {
+		t.Errorf("stale directive missing from findings:\n%s", dump(rep.Findings))
+	}
+}
+
+// sarifFile mirrors the emitted SARIF subset for decoding in assertions.
+type sarifFile struct {
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID string `json:"id"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+			Suppressions []struct {
+				Kind          string `json:"kind"`
+				Justification string `json:"justification"`
+			} `json:"suppressions"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// TestWriteSARIF: findings and suppressions round-trip into a SARIF 2.1.0
+// log with per-analyzer rules, error-level results, relative URIs, and
+// inSource suppressions carrying the directive justifications.
+func TestWriteSARIF(t *testing.T) {
+	rep := loadReport(t, "testdata/ignore", lint.KindSwitch)
+
+	var buf bytes.Buffer
+	analyzers := []*lint.Analyzer{lint.KindSwitch}
+	if err := lint.WriteSARIF(&buf, analyzers, rep, moduleRoot(t)); err != nil {
+		t.Fatal(err)
+	}
+	var doc sarifFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted SARIF does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Fatalf("version %q with %d runs, want 2.1.0 with 1", doc.Version, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "difftestlint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	// One rule per analyzer plus the driver pseudo-rule.
+	if len(run.Tool.Driver.Rules) != 2 ||
+		run.Tool.Driver.Rules[0].ID != "kindswitch" || run.Tool.Driver.Rules[1].ID != lint.DriverName {
+		t.Errorf("rules = %+v, want [kindswitch %s]", run.Tool.Driver.Rules, lint.DriverName)
+	}
+
+	if len(run.Results) != 3 { // 1 surviving + 2 suppressed
+		t.Fatalf("want 3 results, got %d", len(run.Results))
+	}
+	suppressed := 0
+	for _, r := range run.Results {
+		if r.Level != "error" || r.RuleID != "kindswitch" || r.RuleIndex != 0 {
+			t.Errorf("result %+v: want error-level kindswitch at rule index 0", r)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if filepath.IsAbs(loc.ArtifactLocation.URI) || strings.Contains(loc.ArtifactLocation.URI, `\`) {
+			t.Errorf("URI %q is not a relative slash path", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Errorf("result %+v has no start line", r)
+		}
+		for _, s := range r.Suppressions {
+			suppressed++
+			if s.Kind != "inSource" || s.Justification == "" {
+				t.Errorf("suppression %+v: want inSource with a justification", s)
+			}
+		}
+	}
+	if suppressed != 2 {
+		t.Errorf("want 2 suppressed results, got %d", suppressed)
+	}
+}
+
+// TestWriteSARIFClean: a clean run still carries an (empty) results array —
+// SARIF's "ran and found nothing", distinct from "did not run".
+func TestWriteSARIFClean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, lint.All(), lint.Report{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("clean report must emit an empty results array:\n%s", buf.String())
+	}
+	var doc sarifFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(doc.Runs[0].Tool.Driver.Rules); got != len(lint.All())+1 {
+		t.Errorf("want %d rules, got %d", len(lint.All())+1, got)
+	}
+}
+
+// TestLoadPatterns exercises the standalone `go list` loader the CLI uses
+// (LoadDir, used everywhere else in these tests, bypasses it).
+func TestLoadPatterns(t *testing.T) {
+	loader := lint.NewLoader(moduleRoot(t))
+	pkgs, err := loader.Load("repro/internal/wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "repro/internal/wire" {
+		t.Fatalf("Load(repro/internal/wire) = %d packages %+v", len(pkgs), pkgs)
+	}
+	if loader.Fset() == nil || len(pkgs[0].Files) == 0 || pkgs[0].Types == nil {
+		t.Errorf("loaded package is missing fset, files, or types")
+	}
+	if _, err := lint.Run(pkgs, lint.All()); err != nil {
+		t.Errorf("running the suite over the loaded package: %v", err)
+	}
+}
+
+// TestVetToolHandshake covers the -V=full / -flags fingerprint protocol and
+// the fall-through to the normal CLI.
+func TestVetToolHandshake(t *testing.T) {
+	var out, errw bytes.Buffer
+	handled, code := lint.RunVetTool("difftestlint", []string{"-V=full"}, &out, &errw)
+	if !handled || code != 0 || !strings.Contains(out.String(), "difftestlint version") {
+		t.Errorf("-V=full: handled=%v code=%d out=%q", handled, code, out.String())
+	}
+
+	out.Reset()
+	handled, code = lint.RunVetTool("difftestlint", []string{"-flags"}, &out, &errw)
+	if !handled || code != 0 || strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("-flags: handled=%v code=%d out=%q", handled, code, out.String())
+	}
+
+	if handled, _ := lint.RunVetTool("difftestlint", []string{"./..."}, &out, &errw); handled {
+		t.Errorf("plain patterns must fall through to the CLI")
+	}
+}
+
+// TestVetToolUnit drives the unitchecker path in-process with a real vet
+// config: export data resolved through `go list -export`, a seeded
+// kindswitch violation, and the vet exit-code convention (2 = findings).
+func TestVetToolUnit(t *testing.T) {
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-f", "{{.ImportPath}}\t{{.Export}}", "repro/internal/event")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Skipf("go list -export: %v", err)
+	}
+	packageFile := make(map[string]string)
+	importMap := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		path, export, ok := strings.Cut(line, "\t")
+		if !ok || export == "" {
+			continue
+		}
+		packageFile[path] = export
+		importMap[path] = path
+	}
+	if packageFile["repro/internal/event"] == "" {
+		t.Skip("no export data for repro/internal/event")
+	}
+
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	const body = `package p
+
+import "repro/internal/event"
+
+func partial(k event.Kind) bool {
+	switch k {
+	case event.KindTrap:
+		return true
+	}
+	return false
+}
+`
+	if err := os.WriteFile(src, []byte(body), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := map[string]any{
+		"ImportPath":  "vettest/p",
+		"GoFiles":     []string{src},
+		"ImportMap":   importMap,
+		"PackageFile": packageFile,
+		"VetxOutput":  filepath.Join(dir, "p.vetx"),
+	}
+	cfgData, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgFile, cfgData, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	handled, code := lint.RunVetTool("difftestlint", []string{cfgFile}, &stdout, &stderr)
+	if !handled {
+		t.Fatal("cfg invocation not handled")
+	}
+	if code != 2 || !strings.Contains(stdout.String(), "covers 1 of 32 kinds") {
+		t.Errorf("unit run: code=%d stdout=%q stderr=%q (want code 2 with a kindswitch finding)",
+			code, stdout.String(), stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "p.vetx")); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+
+	// VetxOnly deps produce facts only — no analysis, exit 0.
+	cfg["VetxOnly"] = true
+	cfgData, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgFile, cfgData, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	if handled, code := lint.RunVetTool("difftestlint", []string{cfgFile}, &stdout, &stderr); !handled || code != 0 {
+		t.Errorf("VetxOnly: handled=%v code=%d", handled, code)
+	}
+
+	// A file that fails to parse succeeds silently when the go command asks
+	// for it (it reports the syntax error itself).
+	if err := os.WriteFile(src, []byte("package p\nfunc {"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	delete(cfg, "VetxOnly")
+	cfg["SucceedOnTypecheckFailure"] = true
+	cfgData, _ = json.Marshal(cfg)
+	if err := os.WriteFile(cfgFile, cfgData, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if handled, code := lint.RunVetTool("difftestlint", []string{cfgFile}, &stdout, &stderr); !handled || code != 0 {
+		t.Errorf("SucceedOnTypecheckFailure: handled=%v code=%d stderr=%q", handled, code, stderr.String())
+	}
+}

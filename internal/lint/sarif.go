@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// WriteSARIF encodes a lint Report as a SARIF 2.1.0 log — the interchange
+// format CI annotation tooling and code-scanning dashboards consume. One run,
+// one driver ("difftestlint"); every analyzer (plus the DriverName
+// pseudo-analyzer for directive misuse) becomes a reportingDescriptor rule,
+// every surviving finding an error-level result, and every suppressed
+// finding a result carrying an inSource suppression with the directive's
+// justification — so dashboards show what was silenced and why, not a hole.
+//
+// File URIs are made relative to baseDir when they fall under it (SARIF
+// wants portable artifact locations, not build-host absolute paths).
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, rep Report, baseDir string) error {
+	doc := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "difftestlint",
+				Rules: sarifRules(analyzers),
+			}},
+			Results: sarifResults(analyzers, rep, baseDir),
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func sarifRules(analyzers []*Analyzer) []sarifRule {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID:               DriverName,
+		ShortDescription: sarifText{Text: "lint:ignore directives must name a known analyzer, give a reason, and suppress something"},
+	})
+	return rules
+}
+
+func sarifResults(analyzers []*Analyzer, rep Report, baseDir string) []sarifResult {
+	ruleIndex := make(map[string]int, len(analyzers)+1)
+	for i, a := range analyzers {
+		ruleIndex[a.Name] = i
+	}
+	ruleIndex[DriverName] = len(analyzers)
+
+	// Empty slice, not nil: `"results": []` is the SARIF way to say "ran
+	// clean", while a missing results array means "did not finish".
+	results := make([]sarifResult, 0, len(rep.Findings)+len(rep.Suppressed))
+	for _, f := range rep.Findings {
+		results = append(results, findingResult(f, ruleIndex, baseDir, nil))
+	}
+	for _, s := range rep.Suppressed {
+		results = append(results, findingResult(s.Finding, ruleIndex, baseDir, []sarifSuppression{{
+			Kind:          "inSource",
+			Justification: s.Reason,
+		}}))
+	}
+	return results
+}
+
+func findingResult(f Finding, ruleIndex map[string]int, baseDir string, sup []sarifSuppression) sarifResult {
+	idx, ok := ruleIndex[f.Analyzer]
+	if !ok {
+		idx = -1
+	}
+	return sarifResult{
+		RuleID:    f.Analyzer,
+		RuleIndex: idx,
+		Level:     "error",
+		Message:   sarifText{Text: f.Message},
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: sarifURI(f.Pos.Filename, baseDir)},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			},
+		}},
+		Suppressions: sup,
+	}
+}
+
+// sarifURI renders filename relative to baseDir with forward slashes, or as
+// given when it lies outside baseDir.
+func sarifURI(filename, baseDir string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// The subset of the SARIF 2.1.0 object model difftestlint emits.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification"`
+}

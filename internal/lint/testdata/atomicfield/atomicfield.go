@@ -1,0 +1,90 @@
+// Package atomicfield holds fixtures for the atomicfield analyzer: words
+// accessed through sync/atomic must never be accessed non-atomically, and
+// unsafe atomic overlays must prove their alignment.
+package atomicfield
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counters mixes an atomic field with plain accesses.
+type counters struct {
+	hits  uint64
+	cold  uint64
+	ready uint32
+}
+
+// bump accesses hits atomically — the canonical access.
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.StoreUint32(&c.ready, 1)
+}
+
+// snapshot reads hits without the atomic: a data race with bump.
+func snapshot(c *counters) uint64 {
+	return c.hits // want `non-atomic access to hits`
+}
+
+// reset writes both fields; only cold is clean (never accessed atomically).
+func reset(c *counters) {
+	c.hits = 0 // want `non-atomic access to hits`
+	c.cold = 0
+	c.ready = 0 // want `non-atomic access to ready`
+}
+
+// loadAll is fully atomic — no findings.
+func loadAll(c *counters) (uint64, uint32) {
+	return atomic.LoadUint64(&c.hits), atomic.LoadUint32(&c.ready)
+}
+
+// Control-word offsets within a mapped page. offSeq and offFlags are used as
+// overlay offsets; offLen is plain data.
+const (
+	offSeq   = 0
+	offFlags = 8
+	offBad   = 12
+	offLen   = 16
+)
+
+// u64at is an overlay helper in the shmring shape: the conversion obligation
+// moves to its call sites.
+func u64at(b []byte, off int) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&b[off]))
+}
+
+// words overlays the control page; offSeq and offFlags are aligned.
+func words(mem []byte) (*atomic.Uint64, *atomic.Uint64) {
+	return u64at(mem, offSeq), u64at(mem, offFlags)
+}
+
+// misaligned overlays a 64-bit word on a 4-byte boundary.
+func misaligned(mem []byte) *atomic.Uint64 {
+	return u64at(mem, offBad) // want `offset 12 breaks the %8 alignment`
+}
+
+// unproven passes a runtime offset the analyzer cannot check.
+func unproven(mem []byte, off int) *atomic.Uint64 {
+	return u64at(mem, off) // want `offset is not a constant`
+}
+
+// inline overlays without the helper; the aligned one is fine, the direct
+// non-indexed one has no provable offset at all.
+func inline(mem []byte, p *byte) (*atomic.Uint32, *atomic.Uint32) {
+	a := (*atomic.Uint32)(unsafe.Pointer(&mem[offLen]))
+	b := (*atomic.Uint32)(unsafe.Pointer(p)) // want `without a provable offset`
+	return a, b
+}
+
+// sneakyRead reads the word behind offSeq with encoding/binary, bypassing
+// the atomic the rest of the package uses for it.
+func sneakyRead(mem []byte) uint64 {
+	return binary.LittleEndian.Uint64(mem[offSeq:]) // want `offSeq names an atomic word`
+}
+
+// plainLen uses offLen outside an overlay; offLen is only an overlay offset
+// via the aligned inline conversion above, so this is flagged too.
+func plainLen(mem []byte) byte {
+	return mem[offLen] // want `offLen names an atomic word`
+}

@@ -1,0 +1,177 @@
+// Package deadlinepair holds fixtures for the deadlinepair analyzer: a
+// function that clears a connection deadline on one path must dispose of it
+// (clear, close, or hand off) on every path out.
+package deadlinepair
+
+import (
+	"errors"
+	"time"
+)
+
+// conn is a stand-in for a net.Conn / FrameTransport: deadlinepair matches
+// the Set{Read,Write}{Deadline,Timeout} method names on any receiver.
+type conn struct{}
+
+func (*conn) SetReadDeadline(t time.Time) error  { return nil }
+func (*conn) SetWriteDeadline(t time.Time) error { return nil }
+func (*conn) SetReadTimeout(d time.Duration)     {}
+func (*conn) SetWriteTimeout(d time.Duration)    {}
+func (*conn) Close() error                       { return nil }
+func (*conn) Handshake() error                   { return nil }
+
+func dial() *conn     { return &conn{} }
+func serve(c *conn)   {}
+func observe(c *conn) {}
+
+// leakyHandshake arms the read deadline for the handshake and clears it on
+// the success path — but the error return leaks it armed: the next,
+// deliberately unbounded read on the same conn dies with a spurious timeout.
+func leakyHandshake(timeout time.Duration) (*conn, error) {
+	c := dial()
+	c.SetReadDeadline(time.Now().Add(timeout))
+	if err := c.Handshake(); err != nil {
+		return nil, err // want `return leaks the read deadline`
+	}
+	c.SetReadDeadline(time.Time{})
+	return c, nil
+}
+
+// pairedHandshake disposes on every path: clear on success, Close on error.
+func pairedHandshake(timeout time.Duration) (*conn, error) {
+	c := dial()
+	c.SetReadDeadline(time.Now().Add(timeout))
+	if err := c.Handshake(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.SetReadDeadline(time.Time{})
+	return c, nil
+}
+
+// timeoutKnob exercises the seam-style Set*Timeout form with a leak on one
+// of three paths.
+func timeoutKnob(c *conn, d time.Duration) error {
+	c.SetReadTimeout(d)
+	if err := c.Handshake(); err != nil {
+		if errors.Is(err, errFatal) {
+			c.Close()
+			return err
+		}
+		return err // want `return leaks the read deadline`
+	}
+	c.SetReadTimeout(0)
+	return nil
+}
+
+var errFatal = errors.New("fatal")
+
+// handoff passes the armed conn to another function in statement position:
+// the discipline transfers with it.
+func handoff(c *conn, d time.Duration) error {
+	c.SetReadTimeout(d)
+	if err := c.Handshake(); err != nil {
+		serve(c)
+		return err
+	}
+	c.SetReadTimeout(0)
+	return nil
+}
+
+// valueHandoff binds the call result, so the conn has not left this
+// function's control — the leak is still reported.
+func valueHandoff(c *conn, d time.Duration) error {
+	c.SetReadTimeout(d)
+	if err := c.Handshake(); err != nil {
+		err2 := wrap(c, err)
+		return err2 // want `return leaks the read deadline`
+	}
+	c.SetReadTimeout(0)
+	return nil
+}
+
+func wrap(c *conn, err error) error { return err }
+
+// deferredClose is disposed at every return by the defer.
+func deferredClose(d time.Duration) error {
+	c := dial()
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(d))
+	if err := c.Handshake(); err != nil {
+		return err
+	}
+	c.SetReadDeadline(time.Time{})
+	return nil
+}
+
+// persistentArm never clears: the write bound deliberately outlives the
+// function, so the pairing discipline is not engaged for it.
+func persistentArm(c *conn, d time.Duration) error {
+	c.SetWriteTimeout(d)
+	return c.Handshake()
+}
+
+// failedArm: the error return of the Set call itself is exempt — the
+// deadline never took effect.
+func failedArm(c *conn, d time.Duration) error {
+	if err := c.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	if err := c.Handshake(); err != nil {
+		c.Close()
+		return err
+	}
+	c.SetReadDeadline(time.Time{})
+	return nil
+}
+
+// switchPaths: two arms dispose (clear, Close) but the no-match path falls
+// through still armed, and the conservative merge keeps that alive.
+func switchPaths(c *conn, d time.Duration, mode int) error {
+	c.SetReadTimeout(d)
+	switch mode {
+	case 0:
+		c.SetReadTimeout(0)
+	case 1:
+		c.Close()
+	}
+	return nil // want `return leaks the read deadline`
+}
+
+// selectLoop re-arms per iteration; the stop case returns without clearing.
+func selectLoop(c *conn, d time.Duration, stop chan struct{}) error {
+	for {
+		c.SetReadTimeout(d)
+		select {
+		case <-stop:
+			return nil // want `return leaks the read deadline`
+		default:
+			c.SetReadTimeout(0)
+		}
+	}
+}
+
+// loopBreak arms and clears around a bounded retry; the break path is
+// re-cleared after the loop, so every return is clean.
+func loopBreak(c *conn, d time.Duration) error {
+	for i := 0; i < 3; i++ {
+		c.SetReadTimeout(d)
+		if c.Handshake() == nil {
+			break
+		}
+		c.SetReadTimeout(0)
+	}
+	c.SetReadTimeout(0)
+	return nil
+}
+
+// mixedKinds: the write kind is active and leaks on the early return; the
+// read kind is armed but never cleared anywhere, so it stays exempt.
+func mixedKinds(c *conn, d time.Duration) error {
+	c.SetReadTimeout(d)
+	c.SetWriteTimeout(d)
+	if err := c.Handshake(); err != nil {
+		return err // want `return leaks the write deadline`
+	}
+	c.SetWriteTimeout(0)
+	return nil
+}

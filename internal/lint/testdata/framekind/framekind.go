@@ -1,0 +1,96 @@
+// Package framekind holds fixtures for the framekind analyzer: a switch
+// dispatching on a transport frame type must name every declared Frame* kind
+// explicitly — the default arm only catches corruption and earns no coverage
+// credit.
+package framekind
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// partial handles the two data frames and trusts default for the rest: the
+// classic latent bug — a new control frame would silently land in the
+// corruption path.
+func partial(kind uint8, payload []byte) error {
+	switch kind { // want `covers 2 of 11 frame kinds`
+	case transport.FramePacket:
+		return nil
+	case transport.FrameItems:
+		return nil
+	default:
+		return fmt.Errorf("unexpected frame type %d", kind)
+	}
+}
+
+// exhaustive names every kind; grouped case arms are fine, and the default
+// arm stays as the corruption path.
+func exhaustive(kind uint8) string {
+	switch kind {
+	case transport.FrameHello, transport.FrameWelcome:
+		return "handshake"
+	case transport.FramePacket, transport.FrameItems:
+		return "data"
+	case transport.FrameEnd, transport.FrameDone, transport.FrameVerdict:
+		return "teardown"
+	case transport.FrameCredit:
+		return "flow"
+	case transport.FrameErrorInfo:
+		return "error"
+	case transport.FrameResume, transport.FrameResumeOK:
+		return "resume"
+	default:
+		return "corrupt"
+	}
+}
+
+// rejecting sites still name every kind: the rejected set shares the error
+// arm, so adding a kind forces a decision here too.
+func rejecting(kind uint8, payload []byte) ([]byte, error) {
+	switch kind {
+	case transport.FrameItems:
+		return payload, nil
+	case transport.FrameHello, transport.FrameWelcome, transport.FramePacket,
+		transport.FrameEnd, transport.FrameCredit, transport.FrameVerdict,
+		transport.FrameDone, transport.FrameErrorInfo, transport.FrameResume,
+		transport.FrameResumeOK:
+		return nil, fmt.Errorf("frame type %d not valid here", kind)
+	default:
+		return nil, fmt.Errorf("corrupt frame type %d", kind)
+	}
+}
+
+// almostDone misses exactly one kind — the message names it.
+func almostDone(kind uint8) bool {
+	switch kind { // want `missing FrameResumeOK`
+	case transport.FrameHello, transport.FrameWelcome, transport.FramePacket,
+		transport.FrameItems, transport.FrameEnd, transport.FrameCredit,
+		transport.FrameVerdict, transport.FrameDone, transport.FrameErrorInfo,
+		transport.FrameResume:
+		return true
+	}
+	return false
+}
+
+// notADispatch switches on a uint8 that never names a Frame constant: out of
+// scope, even with sparse coverage.
+func notADispatch(b uint8) bool {
+	switch b {
+	case 0x0a, 0x0d:
+		return true
+	}
+	return false
+}
+
+// localByte switches on a byte alias with unrelated constants: also out of
+// scope.
+const sep byte = ';'
+
+func localByte(b byte) bool {
+	switch b {
+	case sep:
+		return true
+	}
+	return false
+}

@@ -196,6 +196,12 @@ func Dial(spec string, hello Hello, cfg ClientConfig) (*Client, error) {
 			return nil, jerr
 		}
 		return nil, &ei
+	case FrameHello, FramePacket, FrameItems, FrameEnd, FrameCredit,
+		FrameVerdict, FrameDone, FrameResume, FrameResumeOK:
+		// Declared kinds a server must never answer a Hello with: rejected
+		// like corruption, but named so adding a control frame fails lint
+		// until this site decides what to do with it.
+		fallthrough
 	default:
 		conn.ReleasePayload(payload)
 		conn.Close()
@@ -351,6 +357,11 @@ func (c *Client) readLoop(gen *connGen) {
 				c.fatal(&ei)
 			}
 			return
+		case FrameHello, FrameWelcome, FramePacket, FrameItems, FrameEnd,
+			FrameResume, FrameResumeOK:
+			// Client-to-server kinds (and Welcome/ResumeOK, which belong to
+			// the handshake phase): fatal mid-session, same as corruption.
+			fallthrough
 		default:
 			gen.conn.ReleasePayload(payload)
 			c.fatal(fmt.Errorf("transport: unexpected server frame type %d", h.Type))
@@ -554,6 +565,10 @@ func (c *Client) redial() (*connGen, error) {
 			return nil, jerr
 		}
 		return nil, fmt.Errorf("transport: resume refused: %v: %w", &ei, ErrSessionLost)
+	case FrameHello, FrameWelcome, FramePacket, FrameItems, FrameEnd,
+		FrameCredit, FrameVerdict, FrameDone, FrameResume:
+		// A Resume is answered with ResumeOK or ErrorInfo, nothing else.
+		fallthrough
 	default:
 		conn.ReleasePayload(payload)
 		conn.Close()
@@ -584,6 +599,10 @@ func (c *Client) redial() (*connGen, error) {
 		c.final = ok.Final
 		c.mu.Unlock()
 		c.stopped.Store(true)
+		// The handshake read bound must not outlive the handshake even on
+		// this readerless path: Shutdown still drains the conn, and a stale
+		// DialTimeout deadline would fail that read with a bogus timeout.
+		conn.SetReadTimeout(0)
 		g := newGen(conn, c.welcome.Tokens, 0)
 		close(g.exited) // no reader: the server side of this conn is done
 		c.terminal()

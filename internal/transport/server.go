@@ -304,6 +304,11 @@ func (s *Server) serveSession(conn FrameTransport) {
 		s.openSession(conn, h, payload)
 	case FrameResume:
 		s.resumeSession(conn, h, payload)
+	case FrameWelcome, FramePacket, FrameItems, FrameEnd, FrameCredit,
+		FrameVerdict, FrameDone, FrameErrorInfo, FrameResumeOK:
+		// Only the two session-opening kinds may start a connection; the
+		// rest are refused by name so a new control frame fails lint here.
+		fallthrough
 	default:
 		conn.ReleasePayload(payload)
 		s.refuse(conn, "handshake", fmt.Sprintf("expected Hello or Resume, got frame type %d", h.Type))
@@ -542,6 +547,11 @@ func (s *Server) runSession(conn FrameTransport, sn *session) {
 			s.logf("session %d: done (finished=%v mismatch=%v, %d events)",
 				id, v.Finished, v.Mismatch != nil, v.Events)
 			return
+		case FrameHello, FrameWelcome, FrameCredit, FrameVerdict, FrameDone,
+			FrameErrorInfo, FrameResume, FrameResumeOK:
+			// Handshake and server-to-client kinds are protocol errors once
+			// the session is streaming — same teardown as corruption.
+			fallthrough
 		default:
 			conn.ReleasePayload(payload)
 			s.logf("session %d: unexpected frame type %d", id, h.Type)
@@ -562,12 +572,20 @@ func (s *Server) consume(sess SessionChecker, typ uint8, payload []byte, stopped
 	switch typ {
 	case FramePacket:
 		return sess.Packet(payload)
-	default: // FrameItems
+	case FrameItems:
 		items, err := DecodeItems(payload)
 		if err != nil {
 			return nil, err
 		}
 		return sess.Items(items)
+	case FrameHello, FrameWelcome, FrameEnd, FrameCredit, FrameVerdict,
+		FrameDone, FrameErrorInfo, FrameResume, FrameResumeOK:
+		// This used to be the FrameItems arm's default: any unexpected type
+		// was silently decoded as bare items. Only the two data kinds carry
+		// checker traffic; everything else is a caller bug, not a stream.
+		fallthrough
+	default:
+		return nil, fmt.Errorf("frame type %d is not a data frame", typ)
 	}
 }
 

@@ -391,3 +391,33 @@ func TestServerHonorsWindowRequest(t *testing.T) {
 		t.Fatalf("granted window %d, want the server's 16", got)
 	}
 }
+
+// TestConsumeRejectsNonDataFrames pins the consume() dispatch fix: the old
+// switch read `default: // FrameItems`, so any unexpected frame type was
+// silently decoded as bare wire items. The payload below decodes cleanly as
+// one item — under the old arm every control-frame type here would have fed
+// it to the checker instead of failing.
+func TestConsumeRejectsNonDataFrames(t *testing.T) {
+	payload, err := AppendItems(nil, []wire.Item{{Type: 1, Payload: []byte{1, 2, 3, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := &stubChecker{}
+	srv := NewServer(ServerConfig{NewSession: stubSessions(func() *stubChecker { return chk })})
+	for _, typ := range []uint8{FrameHello, FrameCredit, FrameErrorInfo, FrameResume, 200} {
+		if _, err := srv.consume(chk, typ, payload, false); err == nil {
+			t.Errorf("consume(frame type %d) = nil error, want a non-data-frame rejection", typ)
+		}
+	}
+	if got := chk.Events(); got != 0 {
+		t.Errorf("rejected frames fed %d events to the checker, want 0", got)
+	}
+
+	// The two data kinds still flow: the items payload checks one item.
+	if _, err := srv.consume(chk, FrameItems, payload, false); err != nil {
+		t.Fatalf("consume(FrameItems) = %v", err)
+	}
+	if got := chk.Events(); got != 1 {
+		t.Errorf("consume(FrameItems) checked %d events, want 1", got)
+	}
+}

@@ -35,14 +35,33 @@ func (e *timeoutError) Error() string   { return "shmring: " + e.op + " deadline
 func (e *timeoutError) Timeout() bool   { return true }
 func (e *timeoutError) Temporary() bool { return true }
 
-// Spin-then-park tuning: a bounded burst of scheduler yields (the common
-// case — the peer refills or drains the ring within a scheduling quantum),
-// then escalating sleeps so an idle connection costs no CPU.
+// Spin-then-park tuning — one knob, three numbers. A blocked ring operation
+// first burns spinYields scheduler yields (the common case: the peer refills
+// or drains the ring within a scheduling quantum, so the wait never leaves
+// the spin phase), then sleeps, doubling from parkSleepMin up to the
+// parkSleepMax ceiling so an idle connection costs no CPU. The three move
+// together: a wider spin burst buys latency with busy CPU, a higher sleep
+// ceiling buys idle power with wakeup latency, and a lower parkSleepMin just
+// shifts where the doubling ladder starts. LinkStats counts how often each
+// side outlasts the spin phase — if WriterParks/ReaderParks dominate frame
+// counts in a steady-state run, the burst is too short for that workload;
+// re-derive against BenchmarkShmFrameRoundTrip before touching any of them.
 const (
 	spinYields   = 128
 	parkSleepMin = 5 * time.Microsecond
 	parkSleepMax = 200 * time.Microsecond
 )
+
+// parker is the per-operation ladder state: zero value = start of the spin
+// phase. ReadFrame/ReserveFrame thread one through their retry loop and
+// reset it on progress, so every fresh wait restarts with yields, not
+// sleeps.
+type parker struct {
+	spin  int
+	sleep time.Duration
+}
+
+func (p *parker) reset() { p.spin, p.sleep = 0, 0 }
 
 // role distinguishes the two ends of a segment: the dialer produces ring 0
 // and consumes ring 1, the accepter the reverse.
@@ -146,30 +165,30 @@ func (c *Conn) Close() error {
 }
 
 // park waits one step of the spin-then-park ladder, failing on deadline
-// expiry, interruption, or local close. spin and sleep carry the ladder
-// state across iterations of the caller's retry loop.
-func (c *Conn) park(op string, deadline time.Time, parks *atomic.Uint64, spin *int, sleep *time.Duration) error {
+// expiry, interruption, or local close. p carries the ladder state across
+// iterations of the caller's retry loop.
+func (c *Conn) park(op string, deadline time.Time, parks *atomic.Uint64, p *parker) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
 	if c.interrupted.Load() {
 		return &timeoutError{op: op}
 	}
-	if *spin < spinYields {
-		*spin++
+	if p.spin < spinYields {
+		p.spin++
 		runtime.Gosched()
 		return nil
 	}
-	if *sleep == 0 {
-		*sleep = parkSleepMin
+	if p.sleep == 0 {
+		p.sleep = parkSleepMin
 		parks.Add(1)
-	} else if *sleep < parkSleepMax {
-		*sleep *= 2
+	} else if p.sleep < parkSleepMax {
+		p.sleep *= 2
 	}
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return &timeoutError{op: op}
 	}
-	time.Sleep(*sleep)
+	time.Sleep(p.sleep)
 	return nil
 }
 
@@ -222,7 +241,7 @@ func (c *Conn) ReserveFrame(max int) ([]byte, error) {
 	ringBytes := uint64(len(w.data))
 	need := uint64(transport.FrameHeaderSize + max)
 	deadline := deadlineFor(c.writeTimeout.Load())
-	spin, sleep := 0, time.Duration(0)
+	var p parker
 	for {
 		if c.closed.Load() {
 			return nil, frameErr("write", 0, c.writeSeq, ErrClosed)
@@ -238,7 +257,7 @@ func (c *Conn) ReserveFrame(max int) ([]byte, error) {
 			pad = contig
 		}
 		if space := ringBytes - (head - w.tail.Load()); pad+need > space {
-			if err := c.park("write", deadline, &c.writerParks, &spin, &sleep); err != nil {
+			if err := c.park("write", deadline, &c.writerParks, &p); err != nil {
 				return nil, frameErr("write", 0, c.writeSeq, err)
 			}
 			continue
@@ -298,7 +317,7 @@ func (c *Conn) ReadFrame() (transport.FrameHeader, []byte, error) {
 	r := &c.rd
 	ringBytes := uint64(len(r.data))
 	deadline := deadlineFor(c.readTimeout.Load())
-	spin, sleep := 0, time.Duration(0)
+	var p parker
 	for {
 		if c.closed.Load() {
 			return h, nil, frameErr("read", 0, c.readSeq, ErrClosed)
@@ -314,7 +333,7 @@ func (c *Conn) ReadFrame() (transport.FrameHeader, []byte, error) {
 				}
 				continue
 			}
-			if err := c.park("read", deadline, &c.readerParks, &spin, &sleep); err != nil {
+			if err := c.park("read", deadline, &c.readerParks, &p); err != nil {
 				return h, nil, frameErr("read", 0, c.readSeq, err)
 			}
 			continue
@@ -325,7 +344,7 @@ func (c *Conn) ReadFrame() (transport.FrameHeader, []byte, error) {
 			binary.LittleEndian.Uint32(r.data[pos:]) == padMagic {
 			// Pad-to-wrap skip; the frame it preceded is at the boundary.
 			r.tail.Store(tail + contig)
-			spin, sleep = 0, 0
+			p.reset()
 			continue
 		}
 		if _, err := h.DecodeFrom(r.data[pos : pos+transport.FrameHeaderSize]); err != nil {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -312,6 +313,27 @@ func TestParseAddr(t *testing.T) {
 	for _, bad := range []string{"", "?ring=4096", "/d?ring=100", "/d?ring=0", "/d?bogus=1", "/d?ring=1073741825"} {
 		if _, _, err := parseAddr(bad); err == nil {
 			t.Fatalf("parseAddr(%q) must fail", bad)
+		}
+	}
+}
+
+// TestListenRejectsBadRingSpec: a malformed ring option survives ParseSpec
+// (scheme options are opaque there) and is diagnosed by the shm scheme at
+// Listen time, naming the valid range.
+func TestListenRejectsBadRingSpec(t *testing.T) {
+	for _, spec := range []string{
+		"shm://" + t.TempDir() + "?ring=not-a-number",
+		"shm://" + t.TempDir() + "?ring=100", // not a power of two
+		"shm://" + t.TempDir() + "?blocksize=4096",
+	} {
+		l, err := transport.Listen(spec)
+		if err == nil {
+			l.Close()
+			t.Errorf("Listen(%q) must fail on the malformed option", spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), "shmring:") {
+			t.Errorf("Listen(%q) = %v, want an shmring option diagnosis", spec, err)
 		}
 	}
 }

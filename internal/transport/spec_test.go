@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecErrors pins the diagnosis each malformed spec produces: a
+// user pasting a broken -remote flag gets told what is wrong, not just that
+// something is.
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"", "empty address spec"},
+		{"://localhost:9", "empty scheme"},
+		{"tcp://", "empty address"},
+		{"unix://", "empty address"},
+		{"shm://", "empty address"},
+		{"unix:", "empty path"}, // legacy unix form with no path
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) = nil error, want %q", tc.in, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseSpec(%q) = %q, want mention of %q", tc.in, err, tc.wantSub)
+		}
+	}
+}
+
+// TestParseSpecUnknownScheme: unknown schemes parse — registry resolution is
+// Dial/Listen's job — but resolution then fails by name.
+func TestParseSpecUnknownScheme(t *testing.T) {
+	sp, err := ParseSpec("carrier-pigeon://loft:1")
+	if err != nil || sp.Scheme != "carrier-pigeon" || sp.Addr != "loft:1" {
+		t.Fatalf("ParseSpec(carrier-pigeon://loft:1) = %+v, %v", sp, err)
+	}
+	if _, err := Listen("carrier-pigeon://loft:1"); err == nil ||
+		!strings.Contains(err.Error(), "carrier-pigeon") {
+		t.Errorf("Listen on an unregistered scheme must fail naming it, got %v", err)
+	}
+}
+
+// TestParseSpecOpaqueOptions: scheme options ride along in Addr untouched —
+// the scheme's own parser (shmring's parseAddr) validates them, so a
+// malformed ring size must survive ParseSpec to be diagnosed there.
+func TestParseSpecOpaqueOptions(t *testing.T) {
+	sp, err := ParseSpec("shm:///tmp/rings?ring=not-a-number")
+	if err != nil {
+		t.Fatalf("ParseSpec must not validate scheme options: %v", err)
+	}
+	if sp.Addr != "/tmp/rings?ring=not-a-number" {
+		t.Fatalf("Addr = %q, options were mangled", sp.Addr)
+	}
+}
