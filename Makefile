@@ -85,9 +85,13 @@ bench-json:
 # with the buffer pool balanced across both ends of the wire. The fault
 # matrix crosses every faultnet fault with clean and bugged workloads and
 # gates on verdict equivalence with the in-process checker; TestDegraded
-# pins graceful degradation when the retry budget runs out.
+# pins graceful degradation when the retry budget runs out. The fleet chaos
+# gate routes sessions through the multi-shard router, kills a shard
+# mid-run, and requires migrated sessions to reach byte-identical verdicts
+# (and the full bug library to route with verdict equivalence).
 integration:
 	$(GO) test -race -count=1 -run='TestLoopback|TestRemoteCancellation|TestFaultMatrix|TestDegraded' -v ./internal/cosim
+	$(GO) test -race -count=1 -run='TestFleetChaosMigration|TestFleetAllShardsDeadDegrades|TestFleetBugLibraryEquivalence' -v ./internal/fleet
 
 # Per-package statement coverage with a floor on the packages that carry the
 # fault-injection and resume machinery: a change that quietly drops their

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+func TestParseQuotas(t *testing.T) {
+	got, err := parseQuotas("ci=8:0.5, *=0:1 ,batch=2:0.25")
+	if err != nil {
+		t.Fatalf("valid quota spec rejected: %v", err)
+	}
+	want := map[string]fleet.Quota{
+		"ci":    {MaxSessions: 8, Share: 0.5},
+		"*":     {MaxSessions: 0, Share: 1},
+		"batch": {MaxSessions: 2, Share: 0.25},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseQuotas: got %v, want %v", got, want)
+	}
+
+	if got, err := parseQuotas("  "); err != nil || got != nil {
+		t.Errorf("empty spec: got %v, %v; want nil, nil", got, err)
+	}
+
+	for _, bad := range []string{
+		"ci",              // no policy
+		"=8:0.5",          // no tenant
+		"ci=8",            // no share
+		"ci=many:0.5",     // bad maxSessions
+		"ci=8:half",       // bad share
+		"ci=8:0.5,ci=9:1", // repeated tenant
+	} {
+		if _, err := parseQuotas(bad); err == nil {
+			t.Errorf("parseQuotas(%q) accepted", bad)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 // every PR's speed claims land in a committed, CI-gated time series instead
 // of a prose changelog.
 //
-// The six canonical areas mirror the layers the paper's speedups live in:
+// The seven canonical areas mirror the layers the paper's speedups live in:
 //
 //	codec      per-kind wire encode/decode          (internal/event)
 //	batch      packet packing and unpacking         (internal/batch)
@@ -13,6 +13,7 @@
 //	pipeline   executed concurrent pipeline         (internal/pipeline, internal/cosim)
 //	remote     difftestd loopback RTT and sessions  (internal/cosim)
 //	shm        shared-memory ring RTT + zero-copy   (internal/transport/shmring)
+//	fleet      routed sessions vs direct + forwarding hot path (internal/fleet)
 //
 // cmd/benchjson wraps this package as a CLI with run / compare / gate
 // subcommands; `make bench-json` and CI's bench-trajectory job drive it.
@@ -83,6 +84,12 @@ func Areas() []Area {
 			Packages:  []string{"./internal/transport/shmring", "./internal/transport"},
 			Pattern:   "^(BenchmarkShmFrameRoundTrip|BenchmarkShmPackCheckZeroCopy|BenchmarkUnixSocketFrameRoundTrip)$",
 			Benchtime: "2000x",
+		},
+		{
+			Name:      "fleet",
+			Packages:  []string{"./internal/fleet"},
+			Pattern:   "^(BenchmarkFleetRoutedSession|BenchmarkFleetDirectSession|BenchmarkFleetForward1k)$",
+			Benchtime: "3x",
 		},
 	}
 }

@@ -322,7 +322,7 @@ func TestAreaRegistry(t *testing.T) {
 			t.Fatalf("area %s underspecified: %+v", a.Name, a)
 		}
 	}
-	for _, want := range []string{"codec", "batch", "transport", "pipeline", "remote", "shm"} {
+	for _, want := range []string{"codec", "batch", "transport", "pipeline", "remote", "shm", "fleet"} {
 		if _, ok := AreaByName(want); !ok {
 			t.Fatalf("canonical area %s missing", want)
 		}

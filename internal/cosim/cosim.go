@@ -118,6 +118,10 @@ type Params struct {
 	// gives a non-resuming client (protocol v1 behavior): any connection
 	// loss ends the run with an error.
 	RemoteCfg transport.ClientConfig
+	// Tenant names the accounting principal for RemoteAddr runs. A fleet
+	// router enforces per-tenant admission quotas and fair-share token
+	// windows from it; a bare difftestd ignores it.
+	Tenant string
 
 	// Seed controls workload generation (DUT timing has its own seed).
 	Seed int64
@@ -273,6 +277,7 @@ func degrade(p Params, failed *runner, cause error) (*Result, error) {
 	res.Exec.DegradedRuns = 1
 	res.Exec.Reconnects = failed.remoteReconnects
 	res.Exec.ReplayedFrames = failed.remoteReplayed
+	res.Exec.Migrations = failed.remoteMigrations
 	return res, nil
 }
 
@@ -299,6 +304,7 @@ type runner struct {
 	// fails, so a degraded rerun can report the failed link's history.
 	remoteReconnects uint64
 	remoteReplayed   uint64
+	remoteMigrations uint64
 
 	stop bool
 }

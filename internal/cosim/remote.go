@@ -37,6 +37,7 @@ func (r *runner) helloFor() transport.Hello {
 		Workload:     r.p.Workload.Name,
 		TargetInstrs: r.p.Workload.TargetInstrs,
 		Seed:         r.p.Seed,
+		Tenant:       r.p.Tenant,
 	}
 	if r.p.Tuning != nil {
 		h.WindowRequest = r.p.Tuning.Window
@@ -60,9 +61,11 @@ func (r *runner) loopRemote() error {
 	defer func() {
 		r.remoteReconnects = cl.Reconnects()
 		r.remoteReplayed = cl.ReplayedFrames()
+		r.remoteMigrations = cl.Migrations()
 		if r.res.Exec != nil {
 			r.res.Exec.Reconnects = r.remoteReconnects
 			r.res.Exec.ReplayedFrames = r.remoteReplayed
+			r.res.Exec.Migrations = r.remoteMigrations
 		}
 	}()
 
@@ -84,6 +87,7 @@ func (r *runner) loopRemote() error {
 	m.TokenStalls = cl.Stalls()
 	m.Reconnects = cl.Reconnects()
 	m.ReplayedFrames = cl.ReplayedFrames()
+	m.Migrations = cl.Migrations()
 	ls := cl.LinkStats()
 	m.RingParks = ls.WriterParks + ls.ReaderParks
 	r.res.Exec = m

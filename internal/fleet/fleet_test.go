@@ -1,0 +1,362 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bugs"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/event"
+	"repro/internal/platform"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// The integration gates: real co-simulation sessions (production
+// cosim.NewSession shards, the production networked client) routed through
+// the fleet, with verdict equivalence against in-process references as the
+// pass condition — the same bar the cosim fault matrix sets, plus shard
+// death and migration on top.
+
+// fleetParams builds one routed run. The parameter set matches the cosim
+// fault matrix (EBINSD, LinuxBoot at 40k instructions) so bug detection
+// behaves identically; the seed both varies the stream and spreads the
+// placement keys across shards.
+func fleetParams(t testing.TB, bugID, addr string, seed int64) cosim.Params {
+	t.Helper()
+	opt, err := cosim.ParseConfig("EBINSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Executed = true
+	wl := workload.LinuxBoot()
+	wl.TargetInstrs = 40_000
+	p := cosim.Params{
+		DUT: dut.XiangShanDefault(), Platform: platform.Palladium(), Opt: opt,
+		Workload: wl, Seed: seed,
+	}
+	if bugID != "" {
+		b, ok := bugs.ByID(bugID)
+		if !ok {
+			t.Fatalf("bug %s not in the library", bugID)
+		}
+		p.Hooks = b.Hooks(0)
+	}
+	p.RemoteAddr = addr
+	return p
+}
+
+// routedCfg is the resume-enabled client config every fleet run uses: the
+// same machinery the fault matrix exercises, pointed at a router.
+func routedCfg() transport.ClientConfig {
+	return transport.ClientConfig{
+		Resume:       true,
+		MaxRetries:   6,
+		BackoffBase:  5 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+		StallTimeout: 2 * time.Second,
+		JitterSeed:   17,
+	}
+}
+
+// fleetVerdictEq asserts the routed verdict is byte-identical to the
+// in-process reference (detection, trap code, and the checker's full
+// mismatch identity and diagnosis).
+func fleetVerdictEq(t *testing.T, ref, got *cosim.Result, context string) {
+	t.Helper()
+	if (ref.Mismatch == nil) != (got.Mismatch == nil) {
+		t.Fatalf("%s: detection disagrees: in-process=%v routed=%v",
+			context, ref.Mismatch, got.Mismatch)
+	}
+	if ref.Mismatch == nil {
+		if !got.Finished || got.TrapCode != ref.TrapCode {
+			t.Fatalf("%s: clean verdict drifted: finished=%v trap=%d, want trap=%d",
+				context, got.Finished, got.TrapCode, ref.TrapCode)
+		}
+		return
+	}
+	rm, gm := ref.Mismatch, got.Mismatch
+	if rm.Core != gm.Core || rm.Seq != gm.Seq || rm.PC != gm.PC || rm.Kind != gm.Kind {
+		t.Fatalf("%s: mismatch identity differs:\n in-process: %v\n routed    : %v",
+			context, rm, gm)
+	}
+	if rm.Detail != gm.Detail {
+		t.Fatalf("%s: diagnosis differs:\n in-process: %s\n routed    : %s",
+			context, rm.Detail, gm.Detail)
+	}
+}
+
+// cosimFleet starts n production shards and a router over them.
+func cosimFleet(t *testing.T, n int, cfg Config) (*Router, string, func(), map[string]*transport.Server, []*transport.Server) {
+	t.Helper()
+	servers := make(map[string]*transport.Server, n)
+	var order []*transport.Server
+	for i := 0; i < n; i++ {
+		srv, spec := startShard(t, transport.ServerConfig{NewSession: cosim.NewSession, Window: 8})
+		cfg.Shards = append(cfg.Shards, spec)
+		servers[canonSpec(t, spec)] = srv
+		order = append(order, srv)
+	}
+	if cfg.StatsInterval == 0 {
+		cfg.StatsInterval = 20 * time.Millisecond
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.ResumeWindow == 0 {
+		cfg.ResumeWindow = time.Minute
+	}
+	r, spec, stop := startRouter(t, cfg)
+	return r, spec, stop, servers, order
+}
+
+// TestFleetChaosMigration is the headline gate: concurrent clean and buggy
+// runs through a 3-shard fleet, one shard killed mid-run. Every session must
+// reach its in-process verdict (no degradation — two healthy shards remain),
+// at least one session must migrate, and the buffer pools must balance once
+// the fleet is torn down.
+func TestFleetChaosMigration(t *testing.T) {
+	cells := []struct {
+		bug  string
+		seed int64
+	}{
+		{"", 3}, {"", 11}, {"", 19},
+		{"store-byte-drop", 3}, {"branch-not-taken", 3},
+	}
+
+	// Params are built on the test goroutine (fleetParams may t.Fatal).
+	refParams := make([]cosim.Params, len(cells))
+	for i, c := range cells {
+		refParams[i] = fleetParams(t, c.bug, "", c.seed)
+	}
+	refs := make([]*cosim.Result, len(cells))
+	var refWG sync.WaitGroup
+	refErrs := make([]error, len(cells))
+	for i := range cells {
+		refWG.Add(1)
+		go func(i int) {
+			defer refWG.Done()
+			refs[i], refErrs[i] = cosim.Run(refParams[i])
+		}(i)
+	}
+	refWG.Wait()
+	for i, err := range refErrs {
+		if err != nil {
+			t.Fatalf("reference run %d: %v", i, err)
+		}
+	}
+
+	r, spec, stopRouter, servers, order := cosimFleet(t, 3, Config{})
+	gets0, puts0 := event.PoolStats()
+
+	routedParams := make([]cosim.Params, len(cells))
+	for i, c := range cells {
+		p := fleetParams(t, c.bug, spec, c.seed)
+		p.RemoteCfg = routedCfg()
+		p.Tenant = "chaos"
+		routedParams[i] = p
+	}
+	results := make([]*cosim.Result, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = cosim.Run(routedParams[i])
+		}(i)
+	}
+
+	// Kill whichever shard is hosting sessions, as soon as one is.
+	var killed string
+	waitFor(t, 10*time.Second, "a shard to host live sessions", func() bool {
+		killed = shardHosting(r)
+		return killed != ""
+	})
+	killShard(servers[killed])
+	t.Logf("killed shard %s mid-run", killed)
+
+	wg.Wait()
+	migrations := uint64(0)
+	for i, c := range cells {
+		name := c.bug
+		if name == "" {
+			name = "clean"
+		}
+		if errs[i] != nil {
+			t.Fatalf("routed run %s/seed=%d: %v", name, c.seed, errs[i])
+		}
+		if results[i].Degraded {
+			t.Errorf("run %s/seed=%d degraded with two healthy shards left", name, c.seed)
+		}
+		fleetVerdictEq(t, refs[i], results[i], name)
+		if results[i].Exec != nil {
+			migrations += results[i].Exec.Migrations
+		}
+	}
+	if r.Migrations() == 0 {
+		t.Error("router recorded no migrations after losing a loaded shard")
+	}
+	if migrations == 0 {
+		t.Error("no client observed a migrated resume (ResumeOK.Migrated never set)")
+	}
+	if migrations > 0 && r.Migrations() > 0 {
+		t.Logf("%d client-visible migration(s), router counted %d", migrations, r.Migrations())
+	}
+
+	// Tear the whole fleet down and check both wire ends' pools balance:
+	// every journaled frame the router copied must be back in the pool.
+	stopRouter()
+	for _, srv := range order {
+		killShard(srv) // all sessions are done; this just closes them out
+	}
+	gets1, puts1 := event.PoolStats()
+	if gets1-gets0 != puts1-puts0 {
+		t.Errorf("pool imbalance across the fleet: %d gets vs %d puts",
+			gets1-gets0, puts1-puts0)
+	}
+}
+
+// TestFleetAllShardsDeadDegrades pins the satellite path: when no shard can
+// take a forced resume, the router refuses it, the client surfaces
+// ErrSessionLost, and cosim reruns in-process — identical verdict, Degraded
+// marker, one degraded run.
+func TestFleetAllShardsDeadDegrades(t *testing.T) {
+	ref, err := cosim.Run(fleetParams(t, "", "", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, spec, stopRouter, _, order := cosimFleet(t, 1, Config{})
+	gets0, puts0 := event.PoolStats()
+
+	type outcome struct {
+		res *cosim.Result
+		err error
+	}
+	p := fleetParams(t, "", spec, 3)
+	p.RemoteCfg = routedCfg()
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := cosim.Run(p)
+		ch <- outcome{res, err}
+	}()
+
+	waitFor(t, 10*time.Second, "the session to attach", func() bool {
+		return r.StatsInfo().Active >= 1
+	})
+	killShard(order[0])
+
+	got := <-ch
+	if got.err != nil {
+		t.Fatalf("losing every shard must degrade, not fail: %v", got.err)
+	}
+	if !got.res.Degraded {
+		t.Fatal("run not marked Degraded")
+	}
+	if got.res.Exec == nil || got.res.Exec.DegradedRuns != 1 {
+		t.Fatalf("DegradedRuns != 1 (metrics %+v)", got.res.Exec)
+	}
+	fleetVerdictEq(t, ref, got.res, "degraded")
+	if r.Migrations() != 0 {
+		t.Errorf("Migrations() = %d with nowhere to migrate to", r.Migrations())
+	}
+	if r.Refused() == 0 {
+		t.Error("the doomed resume was never refused at the router")
+	}
+
+	stopRouter()
+	gets1, puts1 := event.PoolStats()
+	if gets1-gets0 != puts1-puts0 {
+		t.Errorf("pool imbalance after degradation: %d gets vs %d puts",
+			gets1-gets0, puts1-puts0)
+	}
+}
+
+// TestFleetTenantQuotaAdmission: a tenant at its cap is refused while
+// another tenant's run proceeds through the same router — and the admitted
+// run (a real cosim session with Params.Tenant set) completes normally.
+func TestFleetTenantQuotaAdmission(t *testing.T) {
+	r, spec, _, _, _ := cosimFleet(t, 2, Config{
+		Quotas: map[string]Quota{"ci": {MaxSessions: 1}},
+	})
+
+	// A raw held-open session pins ci at its quota. The handshake must be
+	// one the production shard accepts: real DUT, platform, and workload.
+	hold := transport.Hello{
+		Proto: transport.ProtoVersion, WireDigest: event.FormatDigest(),
+		DUT: dut.XiangShanDefault().Name, Platform: platform.Palladium().Name,
+		Config: "EBINSD", Workload: workload.LinuxBoot().Name,
+		TargetInstrs: 1000, Seed: 1, Tenant: "ci",
+	}
+	holder, w := openRaw(t, spec, hold)
+	if w.Session == 0 {
+		t.Fatal("holder refused")
+	}
+	defer holder.Close()
+
+	over := dialRaw(t, spec)
+	h2 := hold
+	h2.Seed = 2
+	writeCtl(t, over, transport.FrameHello, &h2)
+	expectRefusal(t, over, "quota")
+	if r.Refused() == 0 {
+		t.Error("quota refusal not counted")
+	}
+
+	p := fleetParams(t, "", spec, 7)
+	p.Workload.TargetInstrs = 20_000
+	p.RemoteCfg = routedCfg()
+	p.Tenant = "dev"
+	res, err := cosim.Run(p)
+	if err != nil {
+		t.Fatalf("dev run alongside a capped tenant: %v", err)
+	}
+	if !res.Finished || res.Mismatch != nil || res.Degraded {
+		t.Fatalf("dev run verdict: finished=%v mismatch=%v degraded=%v",
+			res.Finished, res.Mismatch, res.Degraded)
+	}
+}
+
+// TestFleetBugLibraryEquivalence routes the whole bug library (plus a clean
+// baseline) through a 3-shard fleet with no induced chaos: every verdict
+// must be byte-identical to the in-process reference — the "difftest -remote
+// via a router is still difftest" gate.
+func TestFleetBugLibraryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bug-library sweep is long")
+	}
+	_, spec, _, _, _ := cosimFleet(t, 3, Config{})
+
+	ids := []string{""}
+	for _, b := range bugs.Library() {
+		ids = append(ids, b.ID)
+	}
+	for _, id := range ids {
+		id := id
+		name := id
+		if name == "" {
+			name = "clean"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := cosim.Run(fleetParams(t, id, "", 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := fleetParams(t, id, spec, 3)
+			p.RemoteCfg = routedCfg()
+			p.Tenant = "sweep"
+			res, err := cosim.Run(p)
+			if err != nil {
+				t.Fatalf("routed run: %v", err)
+			}
+			if res.Degraded {
+				t.Fatal("routed run degraded without any induced fault")
+			}
+			fleetVerdictEq(t, ref, res, name)
+		})
+	}
+}

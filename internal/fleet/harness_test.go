@@ -1,0 +1,231 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/event"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// The fleet tests run against two kinds of shard. Protocol-level tests use a
+// stub checker — every data frame is accepted, End yields a fixed clean
+// verdict — so each test drives exact frame sequences through the router
+// without paying for a real co-simulation. The integration gates
+// (fleet_test.go) use the production cosim.NewSession instead.
+
+type stubChecker struct{ events uint64 }
+
+func (c *stubChecker) Packet(buf []byte) (*checker.Mismatch, error) {
+	c.events++
+	return nil, nil
+}
+
+func (c *stubChecker) Items(items []wire.Item) (*checker.Mismatch, error) {
+	c.events += uint64(len(items))
+	return nil, nil
+}
+
+func (c *stubChecker) Finish() (transport.Final, error) {
+	return transport.Final{TrapCode: stubTrapCode}, nil
+}
+
+func (c *stubChecker) Events() uint64 { return c.events }
+
+const stubTrapCode = 5
+
+func stubNewSession(transport.Hello) (transport.SessionChecker, error) {
+	return &stubChecker{}, nil
+}
+
+// startShard runs one difftestd-equivalent server on a Unix socket in the
+// test's temp dir and returns it with its dial spec. Shutdown is registered
+// as cleanup and safe to trigger early (killShard).
+func startShard(t testing.TB, cfg transport.ServerConfig) (*transport.Server, string) {
+	t.Helper()
+	srv := transport.NewServer(cfg)
+	spec := "unix:" + filepath.Join(t.TempDir(), "shard.sock")
+	l, err := transport.Listen(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-done
+	})
+	return srv, spec
+}
+
+// killShard force-stops a shard mid-session: an expired context makes
+// Shutdown close every live connection instead of draining them. It still
+// waits for the handlers, so by return the shard is fully dead.
+func killShard(srv *transport.Server) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srv.Shutdown(ctx)
+}
+
+// startRouter serves a router over cfg's shards on its own Unix socket. The
+// returned stop function is idempotent (cleanup runs it again) so tests can
+// shut the router down early to check pool balance.
+func startRouter(t testing.TB, cfg Config) (*Router, string, func()) {
+	t.Helper()
+	r, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := "unix:" + filepath.Join(t.TempDir(), "router.sock")
+	l, err := transport.Listen(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Serve(l)
+	}()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			t.Errorf("router shutdown: %v", err)
+		}
+		<-done
+	}
+	t.Cleanup(stop)
+	return r, spec, stop
+}
+
+// waitFor polls cond until it holds or the deadline passes. Only call from
+// the test goroutine (it fails the test on timeout).
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// stubHello is a handshake the stub shard accepts; the seed varies the
+// placement key so tests control whether sessions share a shard.
+func stubHello(tenant string, seed int64) transport.Hello {
+	return transport.Hello{
+		Proto: transport.ProtoVersion, WireDigest: event.FormatDigest(),
+		DUT: "stub-dut", Platform: "stub-platform", Config: "EBINSD",
+		Workload: "stub-boot", TargetInstrs: 1000, Seed: seed, Tenant: tenant,
+	}
+}
+
+// dialRaw opens a framed connection to spec with test-friendly deadlines.
+func dialRaw(t testing.TB, spec string) transport.FrameTransport {
+	t.Helper()
+	conn, err := transport.DialFrame(spec, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetWriteTimeout(5 * time.Second)
+	conn.SetReadTimeout(5 * time.Second)
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// writeCtl sends one JSON control frame.
+func writeCtl(t testing.TB, conn transport.FrameTransport, typ uint8, v any) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteFrame(typ, b); err != nil {
+		t.Fatalf("writing frame type %d: %v", typ, err)
+	}
+}
+
+// readCtl reads one frame, requires its type, and decodes the payload into v
+// (nil v skips decoding).
+func readCtl(t testing.TB, conn transport.FrameTransport, want uint8, v any) {
+	t.Helper()
+	h, payload, err := conn.ReadFrame()
+	if err != nil {
+		t.Fatalf("reading frame (want type %d): %v", want, err)
+	}
+	defer conn.ReleasePayload(payload)
+	if h.Type != want {
+		t.Fatalf("frame type %d (payload %q), want type %d", h.Type, payload, want)
+	}
+	if v != nil {
+		if err := json.Unmarshal(payload, v); err != nil {
+			t.Fatalf("decoding frame type %d: %v", h.Type, err)
+		}
+	}
+}
+
+// expectRefusal reads an ErrorInfo frame and asserts its code.
+func expectRefusal(t *testing.T, conn transport.FrameTransport, code string) transport.ErrorInfo {
+	t.Helper()
+	var ei transport.ErrorInfo
+	readCtl(t, conn, transport.FrameErrorInfo, &ei)
+	if ei.Code != code {
+		t.Fatalf("refused with code %q (%s), want %q", ei.Code, ei.Msg, code)
+	}
+	return ei
+}
+
+// openRaw dials the router and completes a Hello handshake.
+func openRaw(t testing.TB, spec string, hello transport.Hello) (transport.FrameTransport, transport.Welcome) {
+	t.Helper()
+	conn := dialRaw(t, spec)
+	writeCtl(t, conn, transport.FrameHello, &hello)
+	var w transport.Welcome
+	readCtl(t, conn, transport.FrameWelcome, &w)
+	return conn, w
+}
+
+// sendPacket writes one data frame and reads the credit acknowledging it,
+// returning the credit's cumulative Ack.
+func sendPacket(t testing.TB, conn transport.FrameTransport, payload []byte) uint64 {
+	t.Helper()
+	if err := conn.WriteFrame(transport.FramePacket, payload); err != nil {
+		t.Fatalf("writing data frame: %v", err)
+	}
+	var cr transport.Credit
+	readCtl(t, conn, transport.FrameCredit, &cr)
+	return cr.Ack
+}
+
+// shardHosting returns the address of a shard the router has placed at least
+// one live session on ("" if none).
+func shardHosting(r *Router) string {
+	for _, row := range r.StatsInfo().Shards {
+		if row.Sessions > 0 {
+			return row.Addr
+		}
+	}
+	return ""
+}
+
+// canonSpec canonicalizes a dial spec the way the router keys shards.
+func canonSpec(t testing.TB, spec string) string {
+	t.Helper()
+	sp, err := transport.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp.String()
+}

@@ -1,0 +1,40 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) placement: every router replica,
+// given the same session key and the same live shard set, computes the same
+// shard ranking with no coordination — the "consistent session placement"
+// half of the fleet design. Unlike a hash ring, HRW needs no virtual nodes
+// and removing one shard reassigns only that shard's sessions: everything
+// else keeps its top-ranked shard.
+
+// hrwScore hashes one (key, shard) pair with FNV-1a 64. The shard address
+// is hashed after the key with a separator so "a"+"bc" and "ab"+"c" differ.
+func hrwScore(key, shard string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(shard))
+	return h.Sum64()
+}
+
+// rankShards orders candidates by descending HRW score for key, breaking
+// exact score ties by address so the order is total and replica-stable. The
+// caller walks the ranking and takes the first shard that is healthy and has
+// capacity; the walk — not just the top pick — is what makes a drained or
+// dead shard's sessions land deterministically on their next-best shard.
+func rankShards(key string, candidates []string) []string {
+	ranked := append([]string(nil), candidates...)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := hrwScore(key, ranked[i]), hrwScore(key, ranked[j])
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRankShardsDeterministic pins the HRW contract: the ranking is a pure
+// function of (key, candidate set) — same inputs, same full order — and the
+// load spreads across shards rather than piling on one.
+func TestRankShardsDeterministic(t *testing.T) {
+	shards := []string{"tcp://a:1", "tcp://b:1", "tcp://c:1"}
+	tops := map[string]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("tenant|dut|plat|EBINSD|boot|40000|%d", i)
+		first := rankShards(key, shards)
+		again := rankShards(key, shards)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("key %q: ranking not deterministic: %v vs %v", key, first, again)
+		}
+		if len(first) != len(shards) {
+			t.Fatalf("key %q: ranking dropped candidates: %v", key, first)
+		}
+		tops[first[0]]++
+	}
+	for _, s := range shards {
+		if tops[s] == 0 {
+			t.Errorf("shard %s never ranked first over 200 keys: %v", s, tops)
+		}
+	}
+}
+
+// TestRankShardsRemovalStability is the rendezvous-hashing property the
+// fleet's migration story rests on: removing one shard reassigns only the
+// sessions that shard owned — everyone else keeps their top pick — and the
+// displaced sessions land on their previous second choice.
+func TestRankShardsRemovalStability(t *testing.T) {
+	shards := []string{"tcp://a:1", "tcp://b:1", "tcp://c:1", "tcp://d:1"}
+	const dead = "tcp://b:1"
+	survivors := []string{"tcp://a:1", "tcp://c:1", "tcp://d:1"}
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := rankShards(key, shards)
+		after := rankShards(key, survivors)
+		if before[0] != dead {
+			if after[0] != before[0] {
+				t.Fatalf("key %q: losing %s moved an unrelated session %s → %s",
+					key, dead, before[0], after[0])
+			}
+			continue
+		}
+		moved++
+		if after[0] != before[1] {
+			t.Fatalf("key %q: displaced session landed on %s, want previous runner-up %s",
+				key, after[0], before[1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key ever placed on the removed shard; the test proved nothing")
+	}
+}
+
+// TestHRWScoreSeparator: the key/shard boundary must be part of the hash, so
+// ("a","bc") and ("ab","c") score differently.
+func TestHRWScoreSeparator(t *testing.T) {
+	if hrwScore("a", "bc") == hrwScore("ab", "c") {
+		t.Fatal("hrwScore ignores the key/shard boundary")
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	got, err := ParseShards(" localhost:9740 ,unix:/tmp/s.sock, shm:///dev/shm/d ")
+	if err != nil {
+		t.Fatalf("valid list rejected: %v", err)
+	}
+	want := []string{"tcp://localhost:9740", "unix:///tmp/s.sock", "shm:///dev/shm/d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("canonicalization: got %v, want %v", got, want)
+	}
+
+	for _, bad := range []string{
+		"",                            // empty list
+		"   ",                         // blank list
+		"tcp://a:1,",                  // trailing empty entry
+		"tcp://",                      // empty address
+		"://x",                        // empty scheme
+		"tcp://h:1,h:1",               // duplicate after canonicalization
+		"unix:/s.sock,unix:///s.sock", // duplicate across legacy/canonical forms
+	} {
+		if _, err := ParseShards(bad); err == nil {
+			t.Errorf("ParseShards(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScaleWindow(t *testing.T) {
+	cases := []struct {
+		tokens int
+		share  float64
+		want   int
+	}{
+		{16, 0, 16},    // zero share = passthrough
+		{16, 1, 16},    // full share = passthrough
+		{16, 1.5, 16},  // shares never out-credit the shard
+		{16, 0.5, 8},   // the fair-share case
+		{16, 0.26, 4},  // rounds
+		{16, 0.001, 1}, // clamps up to a usable window
+		{1, 0.5, 1},    // never below one token
+	}
+	for _, c := range cases {
+		if got := scaleWindow(c.tokens, c.share); got != c.want {
+			t.Errorf("scaleWindow(%d, %v) = %d, want %d", c.tokens, c.share, got, c.want)
+		}
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := NewRouter(Config{}); err == nil {
+		t.Error("router with no shards accepted")
+	}
+	if _, err := NewRouter(Config{Shards: []string{"tcp://"}}); err == nil {
+		t.Error("router with an invalid shard spec accepted")
+	}
+	if _, err := NewRouter(Config{Shards: []string{"h:1", "tcp://h:1"}}); err == nil {
+		t.Error("router with a duplicated shard (across spec forms) accepted")
+	}
+	r, err := NewRouter(Config{Shards: []string{"tcp://h:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cfg.StatsInterval != time.Second || r.cfg.DialTimeout != 5*time.Second {
+		t.Errorf("defaults not applied: %+v", r.cfg)
+	}
+	if r.cfg.ResumeWindow <= 0 {
+		t.Error("a router must always keep a resume window — resume is the migration mechanism")
+	}
+}

@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/transport"
+)
+
+// ParseShards parses a comma-separated shard list ("tcp://a:1,tcp://b:2",
+// any transport.ParseSpec form per element) into canonical specs. Elements
+// are trimmed, validated individually, canonicalized (so "host:port" and
+// "tcp://host:port" name the same shard), and must be unique — a duplicate
+// shard would double its rendezvous weight silently.
+func ParseShards(list string) ([]string, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("fleet: empty shard list")
+	}
+	parts := strings.Split(list, ",")
+	shards := make([]string, 0, len(parts))
+	seen := make(map[string]struct{}, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("fleet: empty shard entry in %q", list)
+		}
+		sp, err := transport.ParseSpec(part)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %q: %w", part, err)
+		}
+		canon := sp.String()
+		if _, dup := seen[canon]; dup {
+			return nil, fmt.Errorf("fleet: duplicate shard %q in %q", canon, list)
+		}
+		seen[canon] = struct{}{}
+		shards = append(shards, canon)
+	}
+	return shards, nil
+}

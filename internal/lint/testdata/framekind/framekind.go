@@ -14,7 +14,7 @@ import (
 // classic latent bug — a new control frame would silently land in the
 // corruption path.
 func partial(kind uint8, payload []byte) error {
-	switch kind { // want `covers 2 of 11 frame kinds`
+	switch kind { // want `covers 2 of 14 frame kinds`
 	case transport.FramePacket:
 		return nil
 	case transport.FrameItems:
@@ -40,6 +40,8 @@ func exhaustive(kind uint8) string {
 		return "error"
 	case transport.FrameResume, transport.FrameResumeOK:
 		return "resume"
+	case transport.FrameStats, transport.FrameDrain, transport.FrameRedirect:
+		return "fleet"
 	default:
 		return "corrupt"
 	}
@@ -54,7 +56,8 @@ func rejecting(kind uint8, payload []byte) ([]byte, error) {
 	case transport.FrameHello, transport.FrameWelcome, transport.FramePacket,
 		transport.FrameEnd, transport.FrameCredit, transport.FrameVerdict,
 		transport.FrameDone, transport.FrameErrorInfo, transport.FrameResume,
-		transport.FrameResumeOK:
+		transport.FrameResumeOK, transport.FrameStats, transport.FrameDrain,
+		transport.FrameRedirect:
 		return nil, fmt.Errorf("frame type %d not valid here", kind)
 	default:
 		return nil, fmt.Errorf("corrupt frame type %d", kind)
@@ -63,11 +66,12 @@ func rejecting(kind uint8, payload []byte) ([]byte, error) {
 
 // almostDone misses exactly one kind — the message names it.
 func almostDone(kind uint8) bool {
-	switch kind { // want `missing FrameResumeOK`
+	switch kind { // want `missing FrameRedirect`
 	case transport.FrameHello, transport.FrameWelcome, transport.FramePacket,
 		transport.FrameItems, transport.FrameEnd, transport.FrameCredit,
 		transport.FrameVerdict, transport.FrameDone, transport.FrameErrorInfo,
-		transport.FrameResume:
+		transport.FrameResume, transport.FrameResumeOK, transport.FrameStats,
+		transport.FrameDrain:
 		return true
 	}
 	return false

@@ -76,6 +76,10 @@ type Metrics struct {
 	// ReplayedFrames counts data frames retransmitted from the client's
 	// replay window across those resumes.
 	ReplayedFrames uint64
+	// Migrations counts the resumes that moved the session to a different
+	// backend shard — a fleet router's live migration (ResumeOK.Migrated).
+	// Always ≤ Reconnects; zero against a single difftestd server.
+	Migrations uint64
 	// DegradedRuns is 1 when the networked session was lost beyond the
 	// retry budget and the run was redone with in-process checking
 	// (cosim's graceful degradation), 0 otherwise.

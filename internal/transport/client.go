@@ -116,6 +116,7 @@ type Client struct {
 	stalls     atomic.Uint64
 	reconnects atomic.Uint64
 	replayed   atomic.Uint64
+	migrations atomic.Uint64
 
 	stopped atomic.Bool // a verdict or error arrived; stop producing
 
@@ -197,7 +198,8 @@ func Dial(spec string, hello Hello, cfg ClientConfig) (*Client, error) {
 		}
 		return nil, &ei
 	case FrameHello, FramePacket, FrameItems, FrameEnd, FrameCredit,
-		FrameVerdict, FrameDone, FrameResume, FrameResumeOK:
+		FrameVerdict, FrameDone, FrameResume, FrameResumeOK, FrameStats,
+		FrameDrain, FrameRedirect:
 		// Declared kinds a server must never answer a Hello with: rejected
 		// like corruption, but named so adding a control frame fails lint
 		// until this site decides what to do with it.
@@ -276,6 +278,10 @@ func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
 // ReplayedFrames reports how many data frames were retransmitted from the
 // replay window across all resumes.
 func (c *Client) ReplayedFrames() uint64 { return c.replayed.Load() }
+
+// Migrations reports how many resumes landed this session on a different
+// backend shard (ResumeOK.Migrated — a fleet router moving the session).
+func (c *Client) Migrations() uint64 { return c.migrations.Load() }
 
 // LinkStats reports transport-level wait instrumentation when the underlying
 // transport carries it (the shm ring's park counters); zero otherwise.
@@ -357,10 +363,25 @@ func (c *Client) readLoop(gen *connGen) {
 				c.fatal(&ei)
 			}
 			return
+		case FrameRedirect:
+			// A fleet router wants this session elsewhere (shard drain or
+			// death). Treat it exactly like a lost connection: the producer's
+			// recovery redials and resumes, and the router places the resumed
+			// session on a healthy shard.
+			var rd Redirect
+			err := decodeJSON(h.Type, payload, &rd)
+			gen.conn.ReleasePayload(payload)
+			if err != nil {
+				gen.die(err)
+				return
+			}
+			gen.die(fmt.Errorf("transport: server redirect: %s", rd.Reason))
+			return
 		case FrameHello, FrameWelcome, FramePacket, FrameItems, FrameEnd,
-			FrameResume, FrameResumeOK:
+			FrameResume, FrameResumeOK, FrameStats, FrameDrain:
 			// Client-to-server kinds (and Welcome/ResumeOK, which belong to
-			// the handshake phase): fatal mid-session, same as corruption.
+			// the handshake phase, and the fleet poll/drain frames): fatal
+			// mid-session, same as corruption.
 			fallthrough
 		default:
 			gen.conn.ReleasePayload(payload)
@@ -566,7 +587,8 @@ func (c *Client) redial() (*connGen, error) {
 		}
 		return nil, fmt.Errorf("transport: resume refused: %v: %w", &ei, ErrSessionLost)
 	case FrameHello, FrameWelcome, FramePacket, FrameItems, FrameEnd,
-		FrameCredit, FrameVerdict, FrameDone, FrameResume:
+		FrameCredit, FrameVerdict, FrameDone, FrameResume, FrameStats,
+		FrameDrain, FrameRedirect:
 		// A Resume is answered with ResumeOK or ErrorInfo, nothing else.
 		fallthrough
 	default:
@@ -584,6 +606,9 @@ func (c *Client) redial() (*connGen, error) {
 
 	// Everything the server consumed needs no retransmission.
 	c.pruneAcked(ok.Have)
+	if ok.Migrated {
+		c.migrations.Add(1)
+	}
 	if ok.Verdict != nil {
 		c.mu.Lock()
 		if c.verdict == nil {

@@ -87,6 +87,21 @@ const (
 	// telling the client how far the server got (so the replay window is
 	// pruned and the rest retransmitted) and regranting the token window.
 	FrameResumeOK uint8 = 11
+	// FrameStats polls health/occupancy: sent with an empty payload as the
+	// first frame of a connection it asks for the endpoint's counters, and
+	// the JSON StatsInfo reply comes back under the same kind. The fleet
+	// router polls every shard with it; admin tools poll the router.
+	FrameStats uint8 = 12
+	// FrameDrain withdraws a shard from a fleet router's placement: JSON
+	// DrainRequest in, JSON DrainReply out. Active sessions on the drained
+	// shard are redirected and migrate via the resume machinery.
+	FrameDrain uint8 = 13
+	// FrameRedirect tells a mid-session client to redial and resume: JSON
+	// Redirect payload naming the reason. The fleet router sends it before
+	// closing a connection whose shard is draining or dead; the client's
+	// reconnect/resume machinery replays the unacknowledged suffix on the
+	// fresh connection, which the router places on a different shard.
+	FrameRedirect uint8 = 14
 )
 
 // MaxFrameBytes bounds a frame payload; a header announcing more is corrupt

@@ -30,6 +30,12 @@ type Hello struct {
 	TargetInstrs uint64 `json:"target_instrs"`
 	Seed         int64  `json:"seed"`
 
+	// Tenant names the accounting principal this session bills to. A fleet
+	// router enforces per-tenant admission quotas and scales the granted
+	// token window by the tenant's fair share; a bare difftestd shard
+	// ignores it. Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
+
 	// WindowRequest, when positive, asks for at most this many tokens
 	// instead of the server's configured window; the server grants
 	// min(ServerConfig.Window, WindowRequest). The auto-tuner uses it to
@@ -86,6 +92,11 @@ type ResumeOK struct {
 	Tokens  int      `json:"tokens"`
 	Verdict *Verdict `json:"verdict,omitempty"`
 	Final   *Verdict `json:"final,omitempty"`
+	// Migrated marks a resume that landed the session on a different backend
+	// shard than before: the fleet router replayed the acknowledged prefix
+	// into a fresh checker there and this resume supplies the rest. A bare
+	// difftestd shard never sets it; the client counts it as a migration.
+	Migrated bool `json:"migrated,omitempty"`
 }
 
 // MismatchReport is the typed mismatch-report payload: the checker's full
@@ -127,9 +138,73 @@ type Verdict struct {
 	Events   uint64          `json:"events,omitempty"` // items checked server-side
 }
 
+// StatsInfo is the FrameStats reply: an endpoint's health and occupancy
+// counters. difftestd fills the session counters from its own state; a fleet
+// router fills them with fleet-wide aggregates and adds the per-shard view.
+type StatsInfo struct {
+	Active     int    `json:"active"`               // sessions being served now
+	Parked     uint64 `json:"parked"`               // sessions parked for resume (lifetime)
+	Resumed    uint64 `json:"resumed"`              // successful resumes (lifetime)
+	Served     uint64 `json:"served"`               // sessions run to completion
+	Mismatches uint64 `json:"mismatches"`           // mismatch verdicts delivered
+	Window     int    `json:"window"`               // configured token window
+	Capacity   int    `json:"capacity,omitempty"`   // max concurrent sessions (0 = unlimited)
+	Migrations uint64 `json:"migrations,omitempty"` // sessions moved between shards (router only)
+
+	// Shards is the router's per-shard occupancy view (routers only).
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// Occupancy returns the load fraction Active/Capacity, or -1 when capacity
+// is unlimited — the router's "prefer lightly loaded shards" signal.
+func (s *StatsInfo) Occupancy() float64 {
+	if s.Capacity <= 0 {
+		return -1
+	}
+	return float64(s.Active) / float64(s.Capacity)
+}
+
+// ShardStatus is one backend's row in a router's StatsInfo.
+type ShardStatus struct {
+	Addr     string `json:"addr"`
+	State    string `json:"state"` // "healthy", "draining", "down"
+	Active   int    `json:"active"`
+	Parked   uint64 `json:"parked"`
+	Resumed  uint64 `json:"resumed"`
+	Served   uint64 `json:"served"`
+	Capacity int    `json:"capacity,omitempty"`
+	Sessions int    `json:"sessions"` // sessions the router has placed here
+}
+
+// DrainRequest asks a fleet router to withdraw one shard from placement and
+// migrate its sessions elsewhere (FrameDrain payload, admin → router).
+type DrainRequest struct {
+	Shard string `json:"shard"`
+	// Undrain returns a previously drained shard to the placement set
+	// instead of withdrawing one.
+	Undrain bool `json:"undrain,omitempty"`
+}
+
+// DrainReply reports a drain's effect (FrameDrain payload, router → admin).
+type DrainReply struct {
+	Shard string `json:"shard"`
+	State string `json:"state"`
+	// Redirected counts the active sessions that were told to redial; each
+	// resumes onto a different shard through the migration path.
+	Redirected int `json:"redirected"`
+}
+
+// Redirect tells a mid-session client to redial and resume elsewhere
+// (FrameRedirect payload). The client treats it like a lost connection: the
+// existing backoff/resume machinery redials, and the router places the
+// resumed session on a healthy shard.
+type Redirect struct {
+	Reason string `json:"reason"`
+}
+
 // ErrorInfo is the FrameError payload.
 type ErrorInfo struct {
-	Code string `json:"code"` // "handshake", "decode", "idle", "overloaded", "internal", "resume"
+	Code string `json:"code"` // "handshake", "decode", "idle", "overloaded", "quota", "internal", "resume"
 	Msg  string `json:"msg"`
 }
 

@@ -304,14 +304,57 @@ func (s *Server) serveSession(conn FrameTransport) {
 		s.openSession(conn, h, payload)
 	case FrameResume:
 		s.resumeSession(conn, h, payload)
+	case FrameStats:
+		conn.ReleasePayload(payload)
+		s.serveStats(conn)
 	case FrameWelcome, FramePacket, FrameItems, FrameEnd, FrameCredit,
-		FrameVerdict, FrameDone, FrameErrorInfo, FrameResumeOK:
-		// Only the two session-opening kinds may start a connection; the
+		FrameVerdict, FrameDone, FrameErrorInfo, FrameResumeOK,
+		FrameDrain, FrameRedirect:
+		// Only session-opening and stats kinds may start a connection; the
 		// rest are refused by name so a new control frame fails lint here.
+		// Drain and Redirect are fleet-router frames a shard never accepts.
 		fallthrough
 	default:
 		conn.ReleasePayload(payload)
-		s.refuse(conn, "handshake", fmt.Sprintf("expected Hello or Resume, got frame type %d", h.Type))
+		s.refuse(conn, "handshake", fmt.Sprintf("expected Hello, Resume, or Stats, got frame type %d", h.Type))
+	}
+}
+
+// StatsInfo snapshots the server's health/occupancy counters — the payload
+// the FrameStats poll answers with and the one a fleet router's placement
+// reads.
+func (s *Server) StatsInfo() StatsInfo {
+	served, mismatches, _ := s.Stats()
+	return StatsInfo{
+		Active:     s.ActiveSessions(),
+		Parked:     s.parkCount.Load(),
+		Resumed:    s.resumed.Load(),
+		Served:     served,
+		Mismatches: mismatches,
+		Window:     s.cfg.Window,
+		Capacity:   s.cfg.MaxSessions,
+	}
+}
+
+// serveStats answers health polls on a dedicated connection: every inbound
+// FrameStats gets a fresh StatsInfo reply, so a router can hold the
+// connection open and poll on its own cadence. Any other frame (or EOF, or
+// the idle deadline) ends the poll loop.
+func (s *Server) serveStats(conn FrameTransport) {
+	for {
+		if err := conn.WriteFrame(FrameStats, encodeJSON(s.StatsInfo())); err != nil {
+			return
+		}
+		conn.SetReadTimeout(s.cfg.IdleTimeout)
+		h, payload, err := conn.ReadFrame()
+		if err != nil {
+			return
+		}
+		conn.ReleasePayload(payload)
+		if h.Type != FrameStats {
+			s.refuse(conn, "decode", fmt.Sprintf("expected Stats poll, got frame type %d", h.Type))
+			return
+		}
 	}
 }
 
@@ -548,9 +591,11 @@ func (s *Server) runSession(conn FrameTransport, sn *session) {
 				id, v.Finished, v.Mismatch != nil, v.Events)
 			return
 		case FrameHello, FrameWelcome, FrameCredit, FrameVerdict, FrameDone,
-			FrameErrorInfo, FrameResume, FrameResumeOK:
-			// Handshake and server-to-client kinds are protocol errors once
-			// the session is streaming — same teardown as corruption.
+			FrameErrorInfo, FrameResume, FrameResumeOK, FrameStats,
+			FrameDrain, FrameRedirect:
+			// Handshake, server-to-client, and fleet-control kinds are
+			// protocol errors once the session is streaming — same teardown
+			// as corruption.
 			fallthrough
 		default:
 			conn.ReleasePayload(payload)
@@ -579,7 +624,8 @@ func (s *Server) consume(sess SessionChecker, typ uint8, payload []byte, stopped
 		}
 		return sess.Items(items)
 	case FrameHello, FrameWelcome, FrameEnd, FrameCredit, FrameVerdict,
-		FrameDone, FrameErrorInfo, FrameResume, FrameResumeOK:
+		FrameDone, FrameErrorInfo, FrameResume, FrameResumeOK, FrameStats,
+		FrameDrain, FrameRedirect:
 		// This used to be the FrameItems arm's default: any unexpected type
 		// was silently decoded as bare items. Only the two data kinds carry
 		// checker traffic; everything else is a caller bug, not a stream.

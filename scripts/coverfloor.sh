@@ -20,6 +20,7 @@ repro/internal/transport/shmring 85
 repro/internal/faultnet 85
 repro/internal/benchjson 85
 repro/internal/lint 85
+repro/internal/fleet 85
 '
 
 tmp="$(mktemp -d)"
