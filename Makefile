@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke bench-json integration cover ci
+.PHONY: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke bench-json fuzz-campaign integration cover ci
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,21 @@ bench-json:
 	cp BENCH_*.json bench-out/
 	./bin/benchjson gate -baseline bench-out/baseline -fresh .
 
+# Coverage-guided fuzzer smoke, through the real CLI: a clean cold-corpus
+# campaign whose checkpoint round-trips through min and repro, then a
+# rediscovery drill that must find the injected bug within the budget (the
+# campaign and the finding replay both exit 2 — the bug-hunting success exit).
+fuzz-campaign:
+	$(GO) build -o bin/difftest-fuzz ./cmd/difftest-fuzz
+	rm -rf bin/fuzz-campaign && mkdir -p bin/fuzz-campaign
+	./bin/difftest-fuzz campaign -workload linux -runs 48 -seed 1 -corpus bin/fuzz-campaign/corpus.json
+	./bin/difftest-fuzz min -corpus bin/fuzz-campaign/corpus.json -o bin/fuzz-campaign/corpus.min.json
+	./bin/difftest-fuzz repro -corpus bin/fuzz-campaign/corpus.min.json -entry 0
+	./bin/difftest-fuzz campaign -workload kvm -bug mtval-wrong-guest-fault -threshold 2 \
+		-runs 64 -stop-on-mismatch -seed 1 -corpus bin/fuzz-campaign/bug.json; test $$? -eq 2
+	./bin/difftest-fuzz repro -bug mtval-wrong-guest-fault -threshold 2 \
+		-corpus bin/fuzz-campaign/bug.json -finding 0; test $$? -eq 2
+
 # Networked loopback gate: a real difftestd-equivalent server on a Unix
 # socket, concurrent sessions (one injected-bug mismatching, one clean, plus
 # a 5-session fan-in), token-window stalls, cancellation — all under -race,
@@ -92,6 +107,7 @@ bench-json:
 integration:
 	$(GO) test -race -count=1 -run='TestLoopback|TestRemoteCancellation|TestFaultMatrix|TestDegraded' -v ./internal/cosim
 	$(GO) test -race -count=1 -run='TestFleetChaosMigration|TestFleetAllShardsDeadDegrades|TestFleetBugLibraryEquivalence' -v ./internal/fleet
+	$(GO) test -race -count=1 -run='TestFuzzRediscoversBugLibrary|TestFuzzBeatsRandomControl|TestCampaignDeterministicAcrossWorkers|TestExitSequenceSurvivesTimerInterrupt' -v ./internal/fuzz
 
 # Per-package statement coverage with a floor on the packages that carry the
 # fault-injection and resume machinery: a change that quietly drops their
@@ -100,4 +116,4 @@ integration:
 cover:
 	./scripts/coverfloor.sh
 
-ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke bench-json cover integration
+ci: build test race vet lint fmt-check generate-check bench-codec fuzz-smoke bench-smoke bench-json fuzz-campaign cover integration

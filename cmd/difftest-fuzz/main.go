@@ -1,0 +1,320 @@
+// Command difftest-fuzz drives the coverage-guided workload fuzzer: budgeted
+// campaigns over the (profile, seed) mutation space with the checker's
+// semantic coverage counters as feedback, corpus checkpointing to JSON, and
+// replay of findings.
+//
+// Usage:
+//
+//	difftest-fuzz campaign -workload linux -runs 200 -corpus corpus.json
+//	difftest-fuzz campaign -corpus corpus.json -resume -runs 400   # continue
+//	difftest-fuzz campaign -bug sc-false-success -threshold 4      # rediscovery drill
+//	difftest-fuzz campaign -random ...                             # control arm (no guidance)
+//	difftest-fuzz campaign -remote tcp://fleet:9000 -tenant ci ... # fan out to a fleet
+//	difftest-fuzz min -corpus corpus.json                          # greedy corpus minimization
+//	difftest-fuzz repro -corpus corpus.json -entry 3               # replay a corpus entry
+//	difftest-fuzz repro -corpus corpus.json -finding 0             # replay a mismatch finding
+//
+// Exit status: 1 on usage or environment errors, 2 when a campaign or replay
+// surfaced a mismatch (the bug-hunting "success" exit, mirroring difftest).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/bugs"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/fuzz"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	switch os.Args[1] {
+	case "campaign":
+		runCampaign(os.Args[2:])
+	case "min":
+		runMin(os.Args[2:])
+	case "repro":
+		runRepro(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "difftest-fuzz: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: difftest-fuzz <campaign|min|repro> [flags]
+
+campaign  run a budgeted coverage-guided campaign (checkpoint to -corpus)
+min       greedily minimize a corpus checkpoint in place
+repro     replay one corpus entry or finding to a verdict
+
+Run 'difftest-fuzz <subcommand> -h' for flags.`)
+}
+
+// envFlags is the DUT/platform/config/remote flag block shared by campaign
+// and repro.
+type envFlags struct {
+	dutName, platName, cfgName    string
+	threads                       int
+	remote, transportName, tenant string
+	bugID                         string
+	threshold                     int
+}
+
+func addEnvFlags(fs *flag.FlagSet) *envFlags {
+	e := &envFlags{}
+	fs.StringVar(&e.dutName, "dut", "xiangshan", "DUT: nutshell, xiangshan-minimal, xiangshan, xiangshan-dual")
+	fs.StringVar(&e.platName, "platform", "palladium", "platform: palladium, fpga, verilator")
+	fs.StringVar(&e.cfgName, "config", "EBINSD", "optimizations: Z, EB, EBIN, EBINSD")
+	fs.IntVar(&e.threads, "threads", 16, "verilator host threads")
+	fs.StringVar(&e.remote, "remote", "",
+		"evaluate candidates on a difftestd shard or fleet router at this address (tcp://host:port, unix:///path, shm:///dir)")
+	fs.StringVar(&e.transportName, "transport", "",
+		"force the -remote transport scheme (tcp, unix, shm); -remote is then a bare address")
+	fs.StringVar(&e.tenant, "tenant", "", "accounting principal for routed campaigns")
+	fs.StringVar(&e.bugID, "bug", "", "inject a library bug into every evaluation (rediscovery drills)")
+	fs.IntVar(&e.threshold, "threshold", 0, "bug trigger threshold (0 = library default)")
+	return e
+}
+
+// environment resolves the shared flags into a fuzz.Config skeleton.
+func (e *envFlags) environment() (fuzz.Config, error) {
+	var cfg fuzz.Config
+	d, err := pickDUT(e.dutName)
+	if err != nil {
+		return cfg, err
+	}
+	p, err := pickPlatform(e.platName, e.threads)
+	if err != nil {
+		return cfg, err
+	}
+	o, err := cosim.ParseConfig(e.cfgName)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.DUT, cfg.Platform, cfg.Opt = d, p, o
+	cfg.RemoteAddr, err = resolveRemoteSpec(e.remote, e.transportName, p)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Tenant = e.tenant
+	if e.bugID != "" {
+		b, ok := bugs.ByID(e.bugID)
+		if !ok {
+			return cfg, fmt.Errorf("unknown bug %q", e.bugID)
+		}
+		th := e.threshold
+		cfg.Hooks = func() arch.Hooks { return b.Hooks(th) }
+		fmt.Printf("injecting %s (%s): %s\n", b.ID, b.PR, b.Description)
+	}
+	return cfg, nil
+}
+
+func runCampaign(args []string) {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	env := addEnvFlags(fs)
+	var (
+		wlName = fs.String("workload", "linux", "base profile: linux, microbench, spec, kvm, xvisor, rvv_test")
+		instrs = fs.Uint64("instrs", 3000, "dynamic instruction budget per evaluation")
+		seed   = fs.Int64("seed", 1, "campaign seed (equal seeds replay equal campaigns)")
+		batch  = fs.Int("batch", 8, "candidates per generation")
+		work   = fs.Int("workers", 0, "parallel evaluations (0 = host cores); never changes the outcome")
+		runs   = fs.Int("runs", 200, "run budget (0 = unbounded)")
+		maxIn  = fs.Uint64("max-instrs", 0, "total dynamic-instruction budget (0 = unbounded)")
+		wall   = fs.Duration("wall", 0, "wall-clock budget, checked at round boundaries (0 = unbounded; breaks replay)")
+		cycles = fs.Uint64("max-cycles", 0, "per-evaluation cycle bound (0 = derived from -instrs)")
+		stop   = fs.Bool("stop-on-mismatch", false, "end the campaign at the first diverging run")
+		random = fs.Bool("random", false, "control arm: random sampling, no coverage guidance")
+		corpus = fs.String("corpus", "", "corpus checkpoint file (written at campaign end)")
+		resume = fs.Bool("resume", false, "continue from the -corpus checkpoint instead of a cold corpus")
+	)
+	fs.Parse(args)
+
+	cfg, err := env.environment()
+	exitOn(err)
+	wl, ok := workload.ByName(*wlName)
+	if !ok {
+		exitOn(fmt.Errorf("unknown workload %q", *wlName))
+	}
+	cfg.Base = wl
+	cfg.Seed = *seed
+	cfg.TargetInstrs = *instrs
+	cfg.BatchSize, cfg.Workers = *batch, *work
+	cfg.MaxRuns, cfg.MaxInstrs, cfg.WallBudget = *runs, *maxIn, *wall
+	cfg.MaxCycles = *cycles
+	cfg.StopOnMismatch = *stop
+	cfg.Random = *random
+	cfg.Log = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+
+	var ck *fuzz.Checkpoint
+	if *resume {
+		if *corpus == "" {
+			exitOn(fmt.Errorf("-resume needs -corpus"))
+		}
+		data, err := os.ReadFile(*corpus)
+		exitOn(err)
+		if ck, _, err = fuzz.LoadCheckpoint(data); err != nil {
+			exitOn(err)
+		}
+		if ck.Seed != *seed {
+			exitOn(fmt.Errorf("checkpoint was grown under seed %d, not %d (pass -seed %d)",
+				ck.Seed, *seed, ck.Seed))
+		}
+		fmt.Printf("resuming: %d rounds, %d runs, %d corpus entries, %d features\n",
+			ck.Rounds, ck.Runs, len(ck.Entries), len(ck.Seen))
+	}
+
+	start := time.Now()
+	rep, err := fuzz.Campaign(cfg, ck)
+	exitOn(err)
+
+	fmt.Printf("\ncampaign stopped (%s): %d rounds, %d runs (%d hung), %d instrs, %s wall\n",
+		rep.Stopped, rep.Rounds, rep.Runs, rep.Hung, rep.Instrs, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("corpus: %d entries, %d distinct features\n", len(rep.Corpus.Entries), rep.Corpus.Features())
+	for _, f := range rep.Findings {
+		fmt.Printf("finding (round %d, seed %d): %v\n", f.Round, f.Seed, f.Mismatch)
+	}
+	if *corpus != "" {
+		exitOn(os.WriteFile(*corpus, rep.Checkpoint(cfg.Seed).Marshal(), 0o644))
+		fmt.Printf("checkpoint written to %s\n", *corpus)
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+func runMin(args []string) {
+	fs := flag.NewFlagSet("min", flag.ExitOnError)
+	corpus := fs.String("corpus", "", "corpus checkpoint file to minimize")
+	out := fs.String("o", "", "output file (default: overwrite -corpus)")
+	fs.Parse(args)
+	if *corpus == "" {
+		exitOn(fmt.Errorf("min needs -corpus"))
+	}
+	data, err := os.ReadFile(*corpus)
+	exitOn(err)
+	ck, c, err := fuzz.LoadCheckpoint(data)
+	exitOn(err)
+	m := c.Minimize()
+	fmt.Printf("minimized: %d -> %d entries (%d features)\n", len(c.Entries), len(m.Entries), m.Features())
+	ck.Entries = m.Entries
+	dst := *out
+	if dst == "" {
+		dst = *corpus
+	}
+	exitOn(os.WriteFile(dst, ck.Marshal(), 0o644))
+}
+
+func runRepro(args []string) {
+	fs := flag.NewFlagSet("repro", flag.ExitOnError)
+	env := addEnvFlags(fs)
+	var (
+		corpus  = fs.String("corpus", "", "corpus checkpoint file")
+		entry   = fs.Int("entry", -1, "corpus entry ID to replay")
+		finding = fs.Int("finding", -1, "finding index to replay")
+	)
+	fs.Parse(args)
+	if *corpus == "" || (*entry < 0) == (*finding < 0) {
+		exitOn(fmt.Errorf("repro needs -corpus and exactly one of -entry or -finding"))
+	}
+	data, err := os.ReadFile(*corpus)
+	exitOn(err)
+	ck, c, err := fuzz.LoadCheckpoint(data)
+	exitOn(err)
+
+	var prof workload.Profile
+	var seed int64
+	switch {
+	case *entry >= 0:
+		if *entry >= len(c.Entries) {
+			exitOn(fmt.Errorf("corpus has %d entries, no ID %d", len(c.Entries), *entry))
+		}
+		e := c.Entries[*entry]
+		prof, seed = e.Profile, e.Seed
+		fmt.Printf("replaying entry %d (round %d, op %s, gain %d)\n", e.ID, e.Round, e.Op, e.Gain)
+	default:
+		if *finding >= len(ck.Findings) {
+			exitOn(fmt.Errorf("checkpoint has %d findings, no index %d", len(ck.Findings), *finding))
+		}
+		f := ck.Findings[*finding]
+		prof, seed = f.Profile, f.Seed
+		fmt.Printf("replaying finding %d (round %d): %v\n", *finding, f.Round, f.Mismatch)
+	}
+
+	cfg, err := env.environment()
+	exitOn(err)
+	res, err := fuzz.Repro(cfg, prof, seed)
+	exitOn(err)
+	fmt.Println(res.Summary())
+	if res.Mismatch != nil {
+		os.Exit(2)
+	}
+}
+
+// resolveRemoteSpec folds the -transport override into the -remote address
+// (same contract as cmd/difftest).
+func resolveRemoteSpec(remote, scheme string, p platform.Platform) (string, error) {
+	if scheme == "" {
+		return remote, nil
+	}
+	if remote == "" {
+		return "", fmt.Errorf("-transport %s needs -remote with an address", scheme)
+	}
+	switch scheme {
+	case "tcp", "unix", "shm":
+	default:
+		return "", fmt.Errorf("unknown -transport %q (tcp, unix, shm)", scheme)
+	}
+	spec := scheme + "://" + remote
+	if scheme == "shm" && !strings.Contains(remote, "?ring=") && p.ShmRingBytes > 0 {
+		spec = fmt.Sprintf("%s?ring=%d", spec, p.ShmRingBytes)
+	}
+	return spec, nil
+}
+
+func pickDUT(name string) (dut.Config, error) {
+	switch strings.ToLower(name) {
+	case "nutshell":
+		return dut.NutShell(), nil
+	case "xiangshan-minimal", "minimal":
+		return dut.XiangShanMinimal(), nil
+	case "xiangshan", "default":
+		return dut.XiangShanDefault(), nil
+	case "xiangshan-dual", "dual":
+		return dut.XiangShanDefaultDual(), nil
+	}
+	return dut.Config{}, fmt.Errorf("unknown DUT %q", name)
+}
+
+func pickPlatform(name string, threads int) (platform.Platform, error) {
+	switch strings.ToLower(name) {
+	case "palladium", "pldm", "emulator":
+		return platform.Palladium(), nil
+	case "fpga", "vu19p":
+		return platform.FPGA(), nil
+	case "verilator", "rtl":
+		return platform.Verilator(threads), nil
+	}
+	return platform.Platform{}, fmt.Errorf("unknown platform %q", name)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "difftest-fuzz:", err)
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,7 @@
 // every PR's speed claims land in a committed, CI-gated time series instead
 // of a prose changelog.
 //
-// The seven canonical areas mirror the layers the paper's speedups live in:
+// The eight canonical areas mirror the layers the paper's speedups live in:
 //
 //	codec      per-kind wire encode/decode          (internal/event)
 //	batch      packet packing and unpacking         (internal/batch)
@@ -14,6 +14,7 @@
 //	remote     difftestd loopback RTT and sessions  (internal/cosim)
 //	shm        shared-memory ring RTT + zero-copy   (internal/transport/shmring)
 //	fleet      routed sessions vs direct + forwarding hot path (internal/fleet)
+//	fuzz       mutation engine + corpus sync-point merge (internal/fuzz)
 //
 // cmd/benchjson wraps this package as a CLI with run / compare / gate
 // subcommands; `make bench-json` and CI's bench-trajectory job drive it.
@@ -90,6 +91,12 @@ func Areas() []Area {
 			Packages:  []string{"./internal/fleet"},
 			Pattern:   "^(BenchmarkFleetRoutedSession|BenchmarkFleetDirectSession|BenchmarkFleetForward1k)$",
 			Benchtime: "3x",
+		},
+		{
+			Name:      "fuzz",
+			Packages:  []string{"./internal/fuzz"},
+			Pattern:   "^(BenchmarkFuzzMutations|BenchmarkCorpusMerge|BenchmarkFeatureExtract)$",
+			Benchtime: "2000x",
 		},
 	}
 }

@@ -46,6 +46,12 @@ type CoreChecker struct {
 	trapSeen bool
 	trapCode uint64
 
+	// Coverage signal for the workload fuzzer (see coverage.go). covLast
+	// and covAdj are the pair-tracking and trap-adjacency cursors.
+	cov     Coverage
+	covLast int
+	covAdj  int
+
 	// EventsChecked counts processed events (software-cost accounting).
 	EventsChecked uint64
 	BytesChecked  uint64
@@ -108,6 +114,7 @@ func (cc *CoreChecker) fail(rec event.Record, format string, args ...any) *Misma
 func (cc *CoreChecker) Process(rec event.Record) *Mismatch {
 	cc.EventsChecked++
 	cc.BytesChecked += uint64(event.SizeOf(rec.Ev.Kind()))
+	cc.observe(rec.Ev)
 
 	switch ev := rec.Ev.(type) {
 	case *event.InstrCommit:
@@ -324,6 +331,7 @@ func (cc *CoreChecker) processCommit(rec event.Record, ev *event.InstrCommit) *M
 	}
 	cc.lastExec = cc.Ref.Step()
 	le := &cc.lastExec
+	cc.observeExec(le)
 
 	if le.Instr != ev.Instr {
 		return cc.fail(rec, "instruction word: DUT %#x REF %#x", ev.Instr, le.Instr)

@@ -1,0 +1,255 @@
+package checker
+
+import (
+	"repro/internal/arch"
+	"repro/internal/event"
+	"repro/internal/isa"
+)
+
+// Coverage is the checker's semantic feedback signal for the coverage-guided
+// workload fuzzer (internal/fuzz): cheap counters the per-core checkers
+// already have the data for, exported so a campaign can tell which regions
+// of the order-semantics space a workload actually exercised. Everything is
+// a plain counter — the fuzzer buckets them log-scale into features, so the
+// checker stays allocation-free on the hot path.
+//
+// The struct is JSON-serializable: a difftestd session ships it back in the
+// closing Verdict frame, so remote and fleet-fanned campaigns get the same
+// signal as in-process runs.
+type Coverage struct {
+	// Kind counts checked events per verification-event kind — the
+	// software-side mirror of the DUT monitor's per-kind traffic.
+	Kind [event.NumKinds]uint64 `json:"kind"`
+	// Pair counts consecutive sync-class transitions (NDE interleaving
+	// pairs): Pair[from*NumSyncClasses+to]. An interrupt landing right after
+	// an MMIO access and the reverse ordering are different cells — the
+	// order-semantics corners Squash fusion must break on.
+	Pair [NumSyncClasses * NumSyncClasses]uint64 `json:"pair"`
+	// TrapMMIOAdj counts MMIO events observed within adjWindow events after
+	// a trap (interrupt or exception) — the trap/MMIO adjacency stressor.
+	TrapMMIOAdj uint64 `json:"trap_mmio_adj"`
+	// Prox counts bug-trigger proximity conditions (see the Prox*
+	// constants): occurrences of the architectural predicates the bug
+	// library keys its latent corruptions on. A workload that raises a
+	// proximity counter is closer to firing any bug gated on that
+	// condition, even before one manifests.
+	Prox [NumProx]uint64 `json:"prox"`
+}
+
+// Sync classes for interleaving-pair tracking: the coarse event classes
+// whose relative order the checker must get right.
+const (
+	ClsCommit    = iota // plain instruction commits
+	ClsMMIO             // skipped (device) commits and MMIO loads/stores
+	ClsInterrupt        // asynchronous interrupts
+	ClsException        // synchronous exceptions, guest faults, hyp traps
+	ClsAtomic           // AMO and LR/SC events
+	ClsVec              // vector commits, writebacks, vstart traffic
+	ClsHyp              // hypervisor loads
+	ClsOther            // state snapshots, hierarchy events, everything else
+	NumSyncClasses
+)
+
+// Bug-trigger proximity counters. Each mirrors a predicate class the bug
+// library (internal/bugs) arms its corruptions on; the fuzzer rewards
+// workloads that push these up.
+const (
+	ProxException    = iota // any synchronous exception
+	ProxEcall               // ecall traps
+	ProxGuestFault          // guest load page faults
+	ProxMret                // mret returns
+	ProxTimerIrq            // machine timer interrupts
+	ProxMMIOSkip            // skipped (device-synchronized) commits
+	ProxLoadNegByte         // sign-extending byte loads of negative values
+	ProxStoreWord           // 4-byte RAM stores
+	ProxAmo                 // atomic read-modify-writes
+	ProxScFail              // failed store-conditionals
+	ProxLoadDouble          // 8-byte RAM loads into integer registers
+	ProxHypLoad             // hypervisor guest loads
+	ProxVecWriteback        // vector register writebacks
+	ProxVecFullVl           // vector adds at saturated vl
+	ProxVsetvli             // vector length renegotiations
+	ProxBranchTaken         // taken conditional branches
+	ProxFsgnj               // fp sign-injections
+	ProxCsrSet              // csrrs set-bit writes to delegation/scratch CSRs
+	ProxVecStore            // vector stores
+	NumProx
+)
+
+// adjWindow is how many events after a trap still count as "adjacent" for
+// the trap/MMIO adjacency counter.
+const adjWindow = 8
+
+// Add accumulates o into c (per-core merge).
+func (c *Coverage) Add(o *Coverage) {
+	for i := range c.Kind {
+		c.Kind[i] += o.Kind[i]
+	}
+	for i := range c.Pair {
+		c.Pair[i] += o.Pair[i]
+	}
+	c.TrapMMIOAdj += o.TrapMMIOAdj
+	for i := range c.Prox {
+		c.Prox[i] += o.Prox[i]
+	}
+}
+
+// Events returns the total checked-event count baked into the kind counters.
+func (c *Coverage) Events() uint64 {
+	var n uint64
+	for _, k := range c.Kind {
+		n += k
+	}
+	return n
+}
+
+// Coverage merges the per-core coverage counters into one signal. Call it
+// only after checking has quiesced (the run finished or the pipeline
+// joined): per-core counters are owned by whichever goroutine drives that
+// core's stream.
+func (c *Checker) Coverage() *Coverage {
+	cov := &Coverage{}
+	for _, cc := range c.Cores {
+		cov.Add(&cc.cov)
+	}
+	return cov
+}
+
+// syncClass maps an event to its interleaving class. MMIO is resolved from
+// the event payload (skipped commits, device loads/stores), not the kind
+// alone.
+func syncClass(ev event.Event) int {
+	switch e := ev.(type) {
+	case *event.InstrCommit:
+		if e.Flags&event.CommitSkip != 0 {
+			return ClsMMIO
+		}
+		return ClsCommit
+	case *event.Load:
+		if e.MMIO != 0 {
+			return ClsMMIO
+		}
+		return ClsOther
+	case *event.Store:
+		if e.MMIO != 0 {
+			return ClsMMIO
+		}
+		return ClsOther
+	case *event.Interrupt, *event.VirtualInterrupt:
+		return ClsInterrupt
+	case *event.Exception, *event.GuestPageFault, *event.HTrap:
+		return ClsException
+	case *event.Atomic, *event.LrSc:
+		return ClsAtomic
+	case *event.VecCommit, *event.VecWriteback, *event.VecMem,
+		*event.VstartUpdate, *event.VecExceptionTrack:
+		return ClsVec
+	case *event.HLoad:
+		return ClsHyp
+	default:
+		return ClsOther
+	}
+}
+
+// observe tracks one checked event's contribution to the coverage signal.
+// Called from Process before dispatch, so every event lands in the kind and
+// pair counters regardless of which case handles it.
+func (cc *CoreChecker) observe(ev event.Event) {
+	cov := &cc.cov
+	cov.Kind[ev.Kind()]++
+	cls := syncClass(ev)
+	cov.Pair[cc.covLast*NumSyncClasses+cls]++
+	cc.covLast = cls
+
+	switch cls {
+	case ClsInterrupt, ClsException:
+		cc.covAdj = adjWindow
+	case ClsMMIO:
+		if cc.covAdj > 0 {
+			cov.TrapMMIOAdj++
+		}
+		fallthrough
+	default:
+		if cc.covAdj > 0 {
+			cc.covAdj--
+		}
+	}
+
+	switch e := ev.(type) {
+	case *event.Interrupt:
+		if e.Cause&0x3F == isa.IntTimerM {
+			cov.Prox[ProxTimerIrq]++
+		}
+	case *event.InstrCommit:
+		if e.Flags&event.CommitSkip != 0 {
+			cov.Prox[ProxMMIOSkip]++
+		}
+	}
+}
+
+// observeExec bumps the bug-trigger proximity counters from the reference
+// model's execution record for one committed instruction — the same
+// architectural predicates the bug library's counterHook triggers key on.
+func (cc *CoreChecker) observeExec(le *arch.Exec) {
+	p := &cc.cov.Prox
+	if le.Exception {
+		p[ProxException]++
+		switch le.Cause {
+		case isa.ExcEcallM:
+			p[ProxEcall]++
+		case isa.ExcGuestLoadPageFault:
+			p[ProxGuestFault]++
+		}
+	}
+	switch le.Inst.Op {
+	case isa.OpMRET:
+		p[ProxMret]++
+	case isa.OpLB:
+		if !le.MMIO && int64(le.Wdata) < 0 {
+			p[ProxLoadNegByte]++
+		}
+	case isa.OpHLVD:
+		if !le.Exception {
+			p[ProxHypLoad]++
+		}
+	case isa.OpVADDVV:
+		if le.Vl == 4 {
+			p[ProxVecFullVl]++
+		}
+	case isa.OpVSETVLI:
+		p[ProxVsetvli]++
+	case isa.OpFSGNJD:
+		p[ProxFsgnj]++
+	case isa.OpVSE:
+		p[ProxVecStore]++
+	case isa.OpSCD:
+		if le.LrSc && !le.ScSuccess {
+			p[ProxScFail]++
+		}
+	case isa.OpCSRRS:
+		if le.Inst.Rs1 != 0 {
+			switch le.Inst.CSR {
+			case isa.CSRMscratch, isa.CSRMedeleg, isa.CSRMideleg,
+				isa.CSRHedeleg, isa.CSRHideleg:
+				p[ProxCsrSet]++
+			}
+		}
+	}
+	if le.Mem && !le.MMIO {
+		switch {
+		case !le.IsLoad && le.MemSize == 4:
+			p[ProxStoreWord]++
+		case le.IsLoad && le.MemSize == 8 && le.WroteInt:
+			p[ProxLoadDouble]++
+		}
+	}
+	if le.Atomic {
+		p[ProxAmo]++
+	}
+	if le.Vec && le.WroteVec {
+		p[ProxVecWriteback]++
+	}
+	if isa.ClassOf(le.Inst.Op) == isa.ClassBranch && le.NextPC != le.PC+4 {
+		p[ProxBranchTaken]++
+	}
+}

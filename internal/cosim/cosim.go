@@ -156,6 +156,12 @@ type Result struct {
 	Mismatch *checker.Mismatch
 	Replay   *replay.Report
 
+	// Coverage is the checker's semantic coverage signal for this run — the
+	// fuzzer's feedback channel. Local runs snapshot it from the in-process
+	// checker; remote runs receive it in the closing verdict (nil when the
+	// server predates the field).
+	Coverage *checker.Coverage
+
 	// Degraded marks a remote run whose session was lost beyond the retry
 	// budget and was redone with in-process checking: the verdict below is
 	// authoritative (the DUT and workload are deterministic), but no
@@ -204,6 +210,12 @@ func (r *Result) Speedup(base *Result) float64 {
 	return r.SpeedHz / base.SpeedHz
 }
 
+// ErrCycleLimit is wrapped by the error a run returns when it reaches
+// Params.MaxCycles without finishing. Callers that treat runaway workloads as
+// data rather than failures — the fuzzer counts them as hung evaluations —
+// test for it with errors.Is.
+var ErrCycleLimit = errors.New("cycle limit exceeded")
+
 // Run executes one co-simulation end to end.
 func Run(p Params) (*Result, error) {
 	if p.MaxCycles == 0 {
@@ -224,6 +236,9 @@ func Run(p Params) (*Result, error) {
 		return nil, fmt.Errorf("cosim: fixed-offset packing supports a single core")
 	}
 
+	if err := p.Workload.Validate(); err != nil {
+		return nil, fmt.Errorf("cosim: %w", err)
+	}
 	prog := workload.Generate(p.Workload, p.DUT.Cores, p.Seed)
 	d := dut.New(p.DUT, prog.Image, prog.Entries, p.Hooks)
 	chk := checker.New(prog.Image, prog.Entries, p.DUT.Cores)
@@ -385,7 +400,7 @@ func (r *runner) loop() error {
 		}
 	}
 	if !r.stop {
-		return fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
+		return fmt.Errorf("cosim: %s did not finish within %d cycles: %w", r.p.DUT.Name, r.p.MaxCycles, ErrCycleLimit)
 	}
 	return nil
 }
@@ -603,6 +618,11 @@ func (r *runner) finish(dutHz float64) {
 	res.Cycles = d.CycleCount
 	res.Instrs = d.Instrs
 	res.DUTOnlyHz = dutHz
+	if r.p.RemoteAddr == "" {
+		// In-process checking: snapshot the coverage signal directly. Remote
+		// runs already copied it from the closing verdict in loopRemote.
+		res.Coverage = r.chk.Coverage()
+	}
 
 	for _, n := range d.EventCount {
 		res.MonitorEvents += n

@@ -1,0 +1,70 @@
+package cosim
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// TestCoverageLocalRuns pins the fuzzer's local feedback channel: every
+// in-process run carries a non-empty coverage snapshot whose event total
+// matches a second identical run (the signal is deterministic in the run
+// parameters).
+func TestCoverageLocalRuns(t *testing.T) {
+	p := executedParams("EBINSD", false)
+	a := run(t, p)
+	b := run(t, p)
+	if a.Coverage == nil || b.Coverage == nil {
+		t.Fatal("local run carried no coverage snapshot")
+	}
+	if a.Coverage.Events() == 0 {
+		t.Fatal("coverage snapshot is empty after a 20k-instruction run")
+	}
+	if *a.Coverage != *b.Coverage {
+		t.Error("identical runs produced different coverage signatures")
+	}
+}
+
+// TestCoverageRemoteMatchesLocal pins the remote feedback channel: a session
+// streamed to the in-process server over the shm ring must come back with
+// the identical coverage snapshot the in-process checker produces — the
+// server's counters travel in the closing verdict.
+func TestCoverageRemoteMatchesLocal(t *testing.T) {
+	_, spec := startShmServer(t, transport.ServerConfig{})
+	local := run(t, executedParams("EBINSD", true))
+	remote := run(t, remoteParams("EBINSD", spec))
+	if remote.Coverage == nil {
+		t.Fatal("remote run carried no coverage in the closing verdict")
+	}
+	if *remote.Coverage != *local.Coverage {
+		t.Error("remote coverage snapshot differs from the in-process checker's")
+	}
+}
+
+// TestRunRejectsInvalidProfile pins that a degenerate profile is refused
+// before any machinery is built, with the typed validation error.
+func TestRunRejectsInvalidProfile(t *testing.T) {
+	p := executedParams("EBINSD", false)
+	p.Workload.TargetInstrs = 0
+	if _, err := Run(p); err == nil {
+		t.Fatal("Run accepted a zero-TargetInstrs profile")
+	}
+	p = executedParams("EBINSD", false)
+	p.Workload.WALU = -3
+	_, err := Run(p)
+	if err == nil {
+		t.Fatal("Run accepted a negative-weight profile")
+	}
+}
+
+// TestSessionRejectsInvalidProfile pins the server-side validation of a
+// full profile arriving in the handshake.
+func TestSessionRejectsInvalidProfile(t *testing.T) {
+	bad := workload.LinuxBoot()
+	bad.MMIOPerMille = 2000
+	h := transport.Hello{DUT: "xiangshan", Config: "EBINSD", Profile: &bad, Seed: 1}
+	if _, err := NewSession(h); err == nil {
+		t.Fatal("NewSession accepted an out-of-range MMIO rate")
+	}
+}

@@ -54,7 +54,7 @@ func (p *hwProducer) next() (xfer, bool, error) {
 			return xfer{}, false, err
 		}
 		if r.d.CycleCount >= r.p.MaxCycles {
-			return xfer{}, false, fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
+			return xfer{}, false, fmt.Errorf("cosim: %s did not finish within %d cycles: %w", r.p.DUT.Name, r.p.MaxCycles, ErrCycleLimit)
 		}
 		recs, done := r.d.StepCycle()
 		r.link.AdvanceCycle()
@@ -320,7 +320,7 @@ func (r *runner) loopExecuted() error {
 		return nil
 	}
 	if !prod.finished {
-		return fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
+		return fmt.Errorf("cosim: %s did not finish within %d cycles: %w", r.p.DUT.Name, r.p.MaxCycles, ErrCycleLimit)
 	}
 	if err := cons.finish(); err != nil {
 		return err

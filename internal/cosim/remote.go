@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/pipeline"
 	"repro/internal/transport"
+	"repro/internal/workload"
 
 	// Register the shm:// scheme: any RemoteAddr a run is pointed at may
 	// name a shared-memory rendezvous, so the same-host fast path is always
@@ -38,6 +39,14 @@ func (r *runner) helloFor() transport.Hello {
 		TargetInstrs: r.p.Workload.TargetInstrs,
 		Seed:         r.p.Seed,
 		Tenant:       r.p.Tenant,
+	}
+	bi, builtin := workload.ByName(r.p.Workload.Name)
+	bi.TargetInstrs = r.p.Workload.TargetInstrs
+	if !builtin || bi != r.p.Workload {
+		// Not a profile the server can rebuild from (name, TargetInstrs) —
+		// a fuzzer-mutated parameter vector: ship it whole in the handshake.
+		wl := r.p.Workload
+		h.Profile = &wl
 	}
 	if r.p.Tuning != nil {
 		h.WindowRequest = r.p.Tuning.Window
@@ -96,13 +105,14 @@ func (r *runner) loopRemote() error {
 	if err != nil {
 		return err
 	}
+	r.res.Coverage = v.Coverage
 	if v.Mismatch != nil {
 		// Remote diagnosis, no replay (see package comment above).
 		r.res.Mismatch = v.Mismatch.ToChecker()
 		return nil
 	}
 	if !prod.finished {
-		return fmt.Errorf("cosim: %s did not finish within %d cycles", r.p.DUT.Name, r.p.MaxCycles)
+		return fmt.Errorf("cosim: %s did not finish within %d cycles: %w", r.p.DUT.Name, r.p.MaxCycles, ErrCycleLimit)
 	}
 	if !v.Finished {
 		return fmt.Errorf("cosim: server closed session %d without finishing", cl.Session())

@@ -47,11 +47,23 @@ func NewSession(h transport.Hello) (transport.SessionChecker, error) {
 	opt.CoupleOrder = h.CoupleOrder
 	opt.FixedOffset = h.FixedOffset
 	opt.MaxFuse = h.MaxFuse
-	wl, ok := workload.ByName(h.Workload)
-	if !ok {
-		return nil, fmt.Errorf("unknown workload %q", h.Workload)
+	var wl workload.Profile
+	if h.Profile != nil {
+		// Full profile on the wire (fuzzing campaigns): the handshake carries
+		// an arbitrary — possibly mutated — parameter vector, so validate it
+		// before the generator sees it.
+		wl = *h.Profile
+	} else {
+		var ok bool
+		wl, ok = workload.ByName(h.Workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", h.Workload)
+		}
+		wl.TargetInstrs = h.TargetInstrs
 	}
-	wl.TargetInstrs = h.TargetInstrs
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
 	if opt.FixedOffset && d.Cores > 1 {
 		return nil, fmt.Errorf("fixed-offset packing supports a single core")
 	}
@@ -177,3 +189,7 @@ func (s *CheckerSession) Finish() (transport.Final, error) {
 
 // Events reports how many wire items this session checked.
 func (s *CheckerSession) Events() uint64 { return s.events }
+
+// CoverageSnapshot merges the per-core coverage counters — the server
+// attaches it to the closing verdict (transport.CoverageReporter).
+func (s *CheckerSession) CoverageSnapshot() *checker.Coverage { return s.chk.Coverage() }

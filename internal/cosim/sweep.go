@@ -68,6 +68,45 @@ func RunConcurrent(ps []Params, workers int) ([]*Result, error) {
 	return results, firstErr
 }
 
+// RunConcurrentAll executes the whole batch on a bounded worker pool and
+// reports per-index outcomes: results[i] and errs[i] are index i's result and
+// error, exactly one of them non-nil. Unlike RunConcurrent, an error never
+// skips the remaining runs — every index is evaluated — so the outcome set is
+// independent of scheduling order and worker count. This is the runner for
+// callers that treat failures as data, like a fuzzing campaign where a hung
+// candidate (ErrCycleLimit) is itself a deterministic observation.
+func RunConcurrentAll(ps []Params, workers int) (results []*Result, errs []error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	results = make([]*Result, len(ps))
+	errs = make([]error, len(ps))
+	if len(ps) == 0 {
+		return results, errs
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(ps[i])
+			}
+		}()
+	}
+	for i := range ps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, errs
+}
+
 // ModeRow pairs the analytic (modeled) and executed results of one named
 // configuration. Remote is non-nil only when the comparison ran against a
 // difftestd server (Params.RemoteAddr set): the same hardware producer

@@ -1,0 +1,78 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/cosim"
+	"repro/internal/workload"
+)
+
+// BenchmarkFuzzMutations measures the mutation engine: one operator draw plus
+// the validation pass that keeps every child inside the legal profile space.
+// The mutator must stay trivially cheap next to an evaluation (a full
+// co-simulated run), so the campaign's cost is always the runs, never the
+// planning.
+func BenchmarkFuzzMutations(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	parent := workload.LinuxBoot()
+	parent.Name = fuzzName
+	partner := workload.KVM()
+	partner.Name = fuzzName
+	other := &Entry{Seed: 2, Profile: partner}
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		mutate(rng, parent, 1, other)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "mutations/s")
+}
+
+// BenchmarkCorpusMerge measures the sync-point cost of folding a 64-entry
+// campaign shard into a fresh master corpus — the fleet fan-out merge path.
+func BenchmarkCorpusMerge(b *testing.B) {
+	prof := workload.LinuxBoot()
+	prof.Name = fuzzName
+	rng := rand.New(rand.NewSource(2))
+	shard := NewCorpus()
+	for i := 0; i < 64; i++ {
+		fs := make([]uint32, 0, 40)
+		for j := 0; j < 40; j++ {
+			fs = append(fs, feature(1+rng.Intn(5), rng.Intn(64), uint64(rng.Intn(1<<16))))
+		}
+		sortU32(fs)
+		shard.Observe(Entry{Seed: int64(i), Profile: prof, Features: fs, Parent: -1, Op: opReseed})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		master := NewCorpus()
+		master.Merge(shard)
+	}
+}
+
+// BenchmarkFeatureExtract measures discretizing one run's coverage snapshot
+// into its sorted feature signature.
+func BenchmarkFeatureExtract(b *testing.B) {
+	cov := &checker.Coverage{}
+	rng := rand.New(rand.NewSource(3))
+	for i := range cov.Kind {
+		cov.Kind[i] = uint64(rng.Intn(1 << 12))
+	}
+	for i := range cov.Pair {
+		cov.Pair[i] = uint64(rng.Intn(1 << 8))
+	}
+	for i := range cov.Prox {
+		cov.Prox[i] = uint64(rng.Intn(1 << 10))
+	}
+	cov.TrapMMIOAdj = 37
+	res := &cosim.Result{Coverage: cov}
+	res.Fusion.Windows, res.Fusion.Breaks = 1000, 41
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Features(res)
+	}
+}

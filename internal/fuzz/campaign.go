@@ -1,0 +1,229 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cosim"
+	"repro/internal/workload"
+)
+
+// candidate is one scheduled evaluation.
+type candidate struct {
+	seed    int64
+	profile workload.Profile
+	parent  int // corpus ID mutated from, -1 for base-derived
+	op      string
+}
+
+// Campaign runs a coverage-guided (or, with cfg.Random, uniformly random)
+// fuzzing campaign and returns its report. resume, when non-nil, continues
+// from a prior checkpoint's corpus and accounting.
+//
+// Determinism: every candidate is derived from the campaign RNG before the
+// batch is evaluated, evaluations are pure in their Params (a cycle-limit
+// hang included), and results fold into the corpus at the round's sync
+// point strictly in batch-index order — so the corpus, trajectory, and
+// findings are byte-identical across runs and worker counts. Only
+// WallBudget breaks this, by making the stopping point timing-dependent.
+func Campaign(cfg Config, resume *Checkpoint) (*Report, error) {
+	base := cfg.Base
+	base.Name = fuzzName
+	if cfg.TargetInstrs > 0 {
+		base.TargetInstrs = cfg.TargetInstrs
+	}
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("fuzz: base profile: %w", err)
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 8
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	corpus := NewCorpus()
+	rep := &Report{Corpus: corpus}
+	round := 0
+	if resume != nil {
+		_, c, err := LoadCheckpoint(resume.Marshal())
+		if err != nil {
+			return nil, err
+		}
+		corpus, rep.Corpus = c, c
+		rep.Runs, rep.Instrs, rep.Hung = resume.Runs, resume.Instrs, resume.Hung
+		rep.Trajectory = append(rep.Trajectory, resume.Trajectory...)
+		rep.Findings = append(rep.Findings, resume.Findings...)
+		round = resume.Rounds
+		// Advance the RNG stream past the consumed rounds so a resumed
+		// campaign does not replay the same candidates.
+		rng = rand.New(rand.NewSource(cfg.Seed + int64(round)*1_000_003))
+	}
+
+	start := time.Now()
+	for {
+		if why := exhausted(cfg, rep, start); why != "" {
+			rep.Stopped = why
+			return rep, nil
+		}
+		n := batch
+		if cfg.MaxRuns > 0 && rep.Runs+n > cfg.MaxRuns {
+			n = cfg.MaxRuns - rep.Runs
+		}
+
+		cands := plan(rng, cfg, base, corpus, round, n)
+		results, errs := evaluate(cfg, base, cands)
+		for i, err := range errs {
+			// A cycle-limit abort is a deterministic property of the candidate
+			// (a hung workload), so it folds into the accounting like any other
+			// outcome. Anything else is an environment failure — stop.
+			if err != nil && !errors.Is(err, cosim.ErrCycleLimit) {
+				return nil, fmt.Errorf("fuzz: candidate %d (round %d): %w", i, round, err)
+			}
+		}
+		stats := fold(corpus, cands, results, round, rep)
+		rep.Rounds = round + 1
+		rep.Trajectory = append(rep.Trajectory, stats)
+		if cfg.Log != nil {
+			cfg.Log("round %d: runs=%d corpus=%d features=%d (+%d) findings=%d",
+				round, stats.Runs, stats.Corpus, stats.Features, stats.NewFeatures, stats.Findings)
+		}
+		round++
+		if cfg.StopOnMismatch && len(rep.Findings) > 0 {
+			rep.Stopped = "mismatch"
+			return rep, nil
+		}
+	}
+}
+
+// exhausted names the budget that ends the campaign, or "".
+func exhausted(cfg Config, rep *Report, start time.Time) string {
+	switch {
+	case cfg.MaxRuns > 0 && rep.Runs >= cfg.MaxRuns:
+		return "runs"
+	case cfg.MaxInstrs > 0 && rep.Instrs >= cfg.MaxInstrs:
+		return "instrs"
+	case cfg.WallBudget > 0 && time.Since(start) >= cfg.WallBudget:
+		return "wall"
+	}
+	return ""
+}
+
+// plan derives the round's candidate batch from the campaign RNG. With a
+// cold corpus (or in the random control arm) candidates are perturbations
+// of the base profile under fresh seeds; once entries exist, parents come
+// from the power schedule and mutate per operator.
+func plan(rng *rand.Rand, cfg Config, base workload.Profile, c *Corpus, round, n int) []candidate {
+	cands := make([]candidate, 0, n)
+	for i := 0; i < n; i++ {
+		if cfg.Random || len(c.Entries) == 0 {
+			// Seed exploration of the base, with an occasional profile
+			// perturbation so the parameter dimensions are probed too.
+			seed := rng.Int63()
+			prof := base
+			op := opReseed
+			if rng.Intn(2) == 0 {
+				prof, seed, op = mutate(rng, base, seed, nil)
+			}
+			cands = append(cands, candidate{seed: seed, profile: prof, parent: -1, op: op})
+			continue
+		}
+		parent := pick(rng, c, round)
+		var other *Entry
+		if len(c.Entries) > 1 {
+			other = &c.Entries[rng.Intn(len(c.Entries))]
+		}
+		prof, seed, op := mutate(rng, parent.Profile, parent.Seed, other)
+		cands = append(cands, candidate{seed: seed, profile: prof, parent: parent.ID, op: op})
+	}
+	return cands
+}
+
+// evaluate runs the batch through the sweep runner (locally or against
+// cfg.RemoteAddr) and returns per-index results and errors in batch order.
+func evaluate(cfg Config, base workload.Profile, cands []candidate) ([]*cosim.Result, []error) {
+	ps := make([]cosim.Params, len(cands))
+	for i, cand := range cands {
+		ps[i] = cosim.Params{
+			DUT: cfg.DUT, Platform: cfg.Platform, Opt: cfg.Opt,
+			Workload: cand.profile, Seed: cand.seed,
+			RemoteAddr: cfg.RemoteAddr, Tenant: cfg.Tenant,
+			MaxCycles: maxCycles(cfg, base),
+		}
+		if cfg.Hooks != nil {
+			// Fresh instrumentation per run: bug triggers are stateful
+			// counters and must never be shared between evaluations.
+			ps[i].Hooks = cfg.Hooks()
+		}
+	}
+	return cosim.RunConcurrentAll(ps, cfg.Workers)
+}
+
+// maxCycles is the per-evaluation cycle bound: the configured one, or a
+// default generous enough for any legitimate candidate (interrupt-heavy
+// profiles retire well under 100 cycles/instr here) while cutting a hung
+// workload off in well under a second.
+func maxCycles(cfg Config, base workload.Profile) uint64 {
+	if cfg.MaxCycles > 0 {
+		return cfg.MaxCycles
+	}
+	mc := 100 * base.TargetInstrs
+	if mc < 1_000_000 {
+		mc = 1_000_000
+	}
+	return mc
+}
+
+// fold is the round's sync point: the batch evaluated in parallel (across
+// local workers or fleet shards), its results now merge into the corpus
+// strictly in batch-index order. Admission order — not evaluation order —
+// decides what the corpus retains, which is what makes a campaign
+// worker-count-invariant. (Independent campaign shards that each built a
+// whole corpus merge the same way, entry order preserved, via
+// Corpus.Merge.)
+func fold(c *Corpus, cands []candidate, results []*cosim.Result, round int, rep *Report) RoundStat {
+	before := c.Features()
+	for i, res := range results {
+		cand := cands[i]
+		rep.Runs++
+		if res == nil {
+			// Hung candidate (cycle limit — the only error that reaches the
+			// fold). It spent its run budget and produced no coverage; that
+			// outcome is deterministic, so it never breaks replay.
+			rep.Hung++
+			continue
+		}
+		rep.Instrs += res.Instrs
+		if res.Mismatch != nil {
+			rep.Findings = append(rep.Findings, Finding{
+				Round: round, Seed: cand.seed, Profile: cand.profile, Mismatch: res.Mismatch,
+			})
+		}
+		c.Observe(Entry{
+			Seed: cand.seed, Profile: cand.profile, Features: Features(res),
+			Round: round, Parent: cand.parent, Op: cand.op,
+		})
+	}
+
+	return RoundStat{
+		Round: round, Runs: rep.Runs, Instrs: rep.Instrs,
+		NewFeatures: c.Features() - before, Features: c.Features(),
+		Corpus: len(c.Entries), Findings: len(rep.Findings), Hung: rep.Hung,
+	}
+}
+
+// Repro replays one corpus entry (or finding) to a verdict under the
+// campaign's environment.
+func Repro(cfg Config, prof workload.Profile, seed int64) (*cosim.Result, error) {
+	p := cosim.Params{
+		DUT: cfg.DUT, Platform: cfg.Platform, Opt: cfg.Opt,
+		Workload: prof, Seed: seed,
+		RemoteAddr: cfg.RemoteAddr, Tenant: cfg.Tenant,
+		MaxCycles: maxCycles(cfg, prof),
+	}
+	if cfg.Hooks != nil {
+		p.Hooks = cfg.Hooks()
+	}
+	return cosim.Run(p)
+}

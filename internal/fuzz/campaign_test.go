@@ -1,0 +1,220 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bugs"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func testOpt(t *testing.T) cosim.Options {
+	t.Helper()
+	opt, err := cosim.ParseConfig("EBINSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt
+}
+
+// bugBase pairs each library bug with the built-in profile whose instruction
+// mix can reach its trigger (vector bugs need vector traffic, hypervisor
+// bugs need guest accesses).
+func bugBase(b *bugs.Bug) workload.Profile {
+	switch b.ID {
+	case "mtval-wrong-guest-fault", "hyp-load-stale":
+		return workload.KVM()
+	case "vstart-not-reset", "vadd-lane-drop", "vsetvli-overshoot", "vec-exception-tracking":
+		return workload.RVVTest()
+	default:
+		return workload.LinuxBoot()
+	}
+}
+
+func bugCampaign(b *bugs.Bug, base workload.Profile, threshold int, random bool, seed int64, maxRuns int) Config {
+	return Config{
+		DUT: dut.XiangShanDefault(), Platform: platform.Palladium(),
+		Base: base, Seed: seed, TargetInstrs: 3000,
+		BatchSize: 8, Workers: 4, MaxRuns: maxRuns,
+		StopOnMismatch: true, Random: random,
+		Hooks: func() arch.Hooks { return b.Hooks(threshold) },
+	}
+}
+
+// TestFuzzRediscoversBugLibrary is the headline gate: for every bug in the
+// library, a cold-corpus campaign under the CI budget must trigger it, and
+// replaying the finding must reproduce the identical mismatch diagnosis.
+func TestFuzzRediscoversBugLibrary(t *testing.T) {
+	opt := testOpt(t)
+	for _, b := range bugs.Library() {
+		b := b
+		t.Run(b.ID, func(t *testing.T) {
+			cfg := bugCampaign(b, bugBase(b), 2, false, 1, 64)
+			cfg.Opt = opt
+			rep, err := Campaign(cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Stopped != "mismatch" || len(rep.Findings) == 0 {
+				t.Fatalf("campaign did not rediscover the bug: stopped=%q runs=%d findings=%d",
+					rep.Stopped, rep.Runs, len(rep.Findings))
+			}
+			f := rep.Findings[0]
+			res, err := Repro(cfg, f.Profile, f.Seed)
+			if err != nil {
+				t.Fatalf("repro: %v", err)
+			}
+			if res.Mismatch == nil {
+				t.Fatalf("finding did not reproduce (seed %d)", f.Seed)
+			}
+			if *res.Mismatch != *f.Mismatch {
+				t.Fatalf("diagnosis drifted between campaign and replay:\n campaign: %v\n   replay: %v",
+					f.Mismatch, res.Mismatch)
+			}
+		})
+	}
+}
+
+// TestFuzzBeatsRandomControl is the paired control arm: under a hardened
+// trigger threshold the coverage-guided campaign must find the bug in
+// strictly fewer runs than uniform random sampling of the same mutation
+// space, same budget, same RNG seed.
+func TestFuzzBeatsRandomControl(t *testing.T) {
+	opt := testOpt(t)
+	b, ok := bugs.ByID("mtval-wrong-guest-fault")
+	if !ok {
+		t.Fatal("bug library lost mtval-wrong-guest-fault")
+	}
+	// LinuxBoot barely produces guest faults, so a threshold-8 trigger needs
+	// the campaign to steer the profile toward hypervisor traffic — exactly
+	// what coverage feedback rewards and blind sampling only stumbles into.
+	run := func(random bool) *Report {
+		cfg := bugCampaign(b, workload.LinuxBoot(), 8, random, 11, 200)
+		cfg.Opt = opt
+		rep, err := Campaign(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	guided, control := run(false), run(true)
+	if guided.Stopped != "mismatch" {
+		t.Fatalf("guided campaign missed the bug: stopped=%q runs=%d", guided.Stopped, guided.Runs)
+	}
+	controlRuns := control.Runs
+	if control.Stopped != "mismatch" {
+		// Random exhausted the budget without finding it: its budget is
+		// effectively larger than anything the guided arm needed.
+		controlRuns = control.Runs + 1
+	}
+	if guided.Runs >= controlRuns {
+		t.Fatalf("guidance bought nothing: guided=%d runs, random=%d runs (stopped=%q)",
+			guided.Runs, control.Runs, control.Stopped)
+	}
+	t.Logf("guided=%d runs, random=%d runs (stopped=%q)", guided.Runs, control.Runs, control.Stopped)
+}
+
+// TestCampaignDeterministicAcrossWorkers pins the replay contract: one seed
+// yields a byte-identical corpus checkpoint and coverage trajectory across
+// repeated runs and across worker counts.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	opt := testOpt(t)
+	run := func(workers int) []byte {
+		cfg := Config{
+			DUT: dut.XiangShanDefault(), Platform: platform.Palladium(), Opt: opt,
+			Base: workload.LinuxBoot(), Seed: 7, TargetInstrs: 2000,
+			BatchSize: 8, Workers: workers, MaxRuns: 24,
+		}
+		rep, err := Campaign(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Checkpoint(cfg.Seed).Marshal()
+	}
+	serial := run(1)
+	if again := run(1); !bytes.Equal(serial, again) {
+		t.Fatal("same seed, same workers: checkpoints differ across runs")
+	}
+	if par := run(4); !bytes.Equal(serial, par) {
+		t.Fatal("worker count changed the campaign outcome")
+	}
+}
+
+// TestCampaignHungCandidatesAreData: a candidate that exceeds the cycle
+// budget folds into the accounting as a hung evaluation — deterministically,
+// never as a campaign failure.
+func TestCampaignHungCandidatesAreData(t *testing.T) {
+	opt := testOpt(t)
+	cfg := Config{
+		DUT: dut.XiangShanDefault(), Platform: platform.Palladium(), Opt: opt,
+		Base: workload.LinuxBoot(), Seed: 3, TargetInstrs: 2000,
+		BatchSize: 4, Workers: 2, MaxRuns: 8,
+		MaxCycles: 500, // no workload finishes in 500 cycles
+	}
+	rep, err := Campaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hung != rep.Runs || rep.Runs != 8 {
+		t.Fatalf("hung accounting: runs=%d hung=%d, want 8, 8", rep.Runs, rep.Hung)
+	}
+	if len(rep.Corpus.Entries) != 0 {
+		t.Fatalf("hung runs grew the corpus: %d entries", len(rep.Corpus.Entries))
+	}
+	last := rep.Trajectory[len(rep.Trajectory)-1]
+	if last.Hung != 8 {
+		t.Fatalf("trajectory lost the hung count: %+v", last)
+	}
+	rep2, err := Campaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rep.Checkpoint(cfg.Seed).Marshal(), rep2.Checkpoint(cfg.Seed).Marshal()) {
+		t.Fatal("hung evaluations broke campaign determinism")
+	}
+}
+
+// TestCampaignResume: a campaign continued from a checkpoint keeps the
+// corpus and accounting and spends only the remaining budget.
+func TestCampaignResume(t *testing.T) {
+	opt := testOpt(t)
+	cfg := Config{
+		DUT: dut.XiangShanDefault(), Platform: platform.Palladium(), Opt: opt,
+		Base: workload.LinuxBoot(), Seed: 5, TargetInstrs: 2000,
+		BatchSize: 8, Workers: 4, MaxRuns: 16,
+	}
+	first, err := Campaign(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, _, err := LoadCheckpoint(first.Checkpoint(cfg.Seed).Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.MaxRuns = 32
+	resumed, err := Campaign(cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Runs != 32 {
+		t.Fatalf("resumed campaign ran %d total runs, want 32", resumed.Runs)
+	}
+	if resumed.Rounds <= first.Rounds {
+		t.Fatalf("resume did not advance rounds: %d -> %d", first.Rounds, resumed.Rounds)
+	}
+	if resumed.Corpus.Features() < first.Corpus.Features() {
+		t.Fatalf("resume lost coverage: %d -> %d features",
+			first.Corpus.Features(), resumed.Corpus.Features())
+	}
+	// The trajectory must contain the pre-resume rows verbatim.
+	for i, row := range first.Trajectory {
+		if resumed.Trajectory[i] != row {
+			t.Fatalf("resume rewrote trajectory row %d: %+v vs %+v", i, resumed.Trajectory[i], row)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Entry is one retained (seed, profile) pair: a workload whose run added
+// coverage the corpus had not seen when it was admitted.
+type Entry struct {
+	ID      int              `json:"id"`
+	Seed    int64            `json:"seed"`
+	Profile workload.Profile `json:"profile"`
+
+	// Features is the run's full discretized signature (sorted); Gain is
+	// how many of them were new at admission — the power schedule's energy.
+	Features []uint32 `json:"features"`
+	Gain     int      `json:"gain"`
+
+	// Round is the generation that admitted the entry; Parent the corpus ID
+	// it was mutated from (-1 for base-derived roots); Op the mutation
+	// operator — the campaign's lineage record.
+	Round  int    `json:"round"`
+	Parent int    `json:"parent"`
+	Op     string `json:"op"`
+}
+
+// Corpus is the set of coverage-adding entries plus the union of every
+// feature any evaluated run produced (admitted or not — a rejected
+// candidate's features are still "seen", so the next identical signature
+// doesn't get in either).
+type Corpus struct {
+	Entries []Entry
+	seen    map[uint32]struct{}
+}
+
+// NewCorpus returns an empty (cold) corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{seen: make(map[uint32]struct{})}
+}
+
+// Gain counts the features of fs the corpus has not seen.
+func (c *Corpus) Gain(fs []uint32) int {
+	n := 0
+	for _, f := range fs {
+		if _, ok := c.seen[f]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Observe folds a run's signature into the seen set and, when it adds
+// coverage, retains the entry. Returns the gain and whether the entry was
+// admitted. The caller fixes the fold order (batch index), which makes the
+// corpus deterministic.
+func (c *Corpus) Observe(e Entry) (int, bool) {
+	gain := c.Gain(e.Features)
+	for _, f := range e.Features {
+		c.seen[f] = struct{}{}
+	}
+	if gain == 0 {
+		return 0, false
+	}
+	e.ID = len(c.Entries)
+	e.Gain = gain
+	c.Entries = append(c.Entries, e)
+	return gain, true
+}
+
+// Features counts distinct features seen so far.
+func (c *Corpus) Features() int { return len(c.seen) }
+
+// Merge folds another corpus's entries into c in their admission order,
+// re-admitting only those that still add coverage — the sync-point merge
+// for per-worker corpus shards. Returns how many entries survived.
+func (c *Corpus) Merge(o *Corpus) int {
+	kept := 0
+	for _, e := range o.Entries {
+		if _, ok := c.Observe(e); ok {
+			kept++
+		}
+	}
+	return kept
+}
+
+// Minimize returns the greedy minimal subcorpus: entries walked in
+// admission order, kept only while they contribute features no earlier
+// kept entry covered. Admission order is the natural greedy order — each
+// entry was admitted precisely because it added coverage at that point, so
+// the pass only drops entries later ones made redundant in aggregate.
+func (c *Corpus) Minimize() *Corpus {
+	m := NewCorpus()
+	for _, e := range c.Entries {
+		m.Observe(e)
+	}
+	return m
+}
+
+// Checkpoint is the JSON-serialized campaign state: enough to resume a
+// budgeted campaign or replay any entry. It contains only slices of plain
+// structs, so marshaling is byte-deterministic — the determinism regression
+// compares checkpoint bytes across runs and worker counts.
+type Checkpoint struct {
+	Version int    `json:"version"`
+	Seed    int64  `json:"seed"` // campaign seed the corpus grew under
+	Rounds  int    `json:"rounds"`
+	Runs    int    `json:"runs"`
+	Instrs  uint64 `json:"instrs"`
+	Hung    int    `json:"hung,omitempty"`
+
+	Entries    []Entry     `json:"entries"`
+	Trajectory []RoundStat `json:"trajectory,omitempty"`
+	Findings   []Finding   `json:"findings,omitempty"`
+
+	// Seen is the full feature set, including features contributed by
+	// rejected candidates — without it a resumed campaign would re-admit
+	// signatures the original run had already turned away.
+	Seen []uint32 `json:"seen"`
+}
+
+// checkpointVersion guards the JSON layout.
+const checkpointVersion = 1
+
+// Checkpoint snapshots a finished campaign for the corpus file.
+func (r *Report) Checkpoint(campaignSeed int64) *Checkpoint {
+	return &Checkpoint{
+		Version: checkpointVersion, Seed: campaignSeed,
+		Rounds: r.Rounds, Runs: r.Runs, Instrs: r.Instrs, Hung: r.Hung,
+		Entries: r.Corpus.Entries, Trajectory: r.Trajectory, Findings: r.Findings,
+		Seen: r.Corpus.SeenFeatures(),
+	}
+}
+
+// SeenFeatures returns the sorted full feature set (checkpoint payload).
+func (c *Corpus) SeenFeatures() []uint32 {
+	fs := make([]uint32, 0, len(c.seen))
+	for f := range c.seen {
+		fs = append(fs, f)
+	}
+	sortU32(fs)
+	return fs
+}
+
+// Marshal renders the checkpoint as indented JSON (stable bytes).
+func (ck *Checkpoint) Marshal() []byte {
+	b, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		// Plain structs only; a marshal failure is a programming error.
+		panic(fmt.Sprintf("fuzz: marshal checkpoint: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// LoadCheckpoint parses a checkpoint and rebuilds the corpus it describes.
+func LoadCheckpoint(data []byte) (*Checkpoint, *Corpus, error) {
+	var ck Checkpoint
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, nil, fmt.Errorf("fuzz: corrupt checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, nil, fmt.Errorf("fuzz: checkpoint version %d (want %d)", ck.Version, checkpointVersion)
+	}
+	c := NewCorpus()
+	for _, e := range ck.Entries {
+		if err := e.Profile.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("fuzz: checkpoint entry %d: %w", e.ID, err)
+		}
+		// Entries were admitted with gain > 0 in this exact order, so
+		// Observe re-admits each one and preserves IDs and gains.
+		c.Observe(e)
+	}
+	// Restore features contributed by rejected candidates too.
+	for _, f := range ck.Seen {
+		c.seen[f] = struct{}{}
+	}
+	return &ck, c, nil
+}

@@ -1,0 +1,139 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func entry(seed int64, fs ...uint32) Entry {
+	p := workload.Microbench()
+	p.Name = fuzzName
+	return Entry{Seed: seed, Profile: p, Features: fs, Parent: -1, Op: opReseed}
+}
+
+func TestCorpusAdmission(t *testing.T) {
+	c := NewCorpus()
+	gain, ok := c.Observe(entry(1, 10, 20, 30))
+	if !ok || gain != 3 {
+		t.Fatalf("first entry: gain=%d admitted=%v, want 3,true", gain, ok)
+	}
+	// Identical signature: rejected, but its features were already seen.
+	if gain, ok := c.Observe(entry(2, 10, 20, 30)); ok || gain != 0 {
+		t.Fatalf("duplicate signature admitted (gain=%d)", gain)
+	}
+	// Partial overlap: admitted with the marginal gain only.
+	gain, ok = c.Observe(entry(3, 20, 30, 40))
+	if !ok || gain != 1 {
+		t.Fatalf("overlapping entry: gain=%d admitted=%v, want 1,true", gain, ok)
+	}
+	if len(c.Entries) != 2 || c.Features() != 4 {
+		t.Fatalf("corpus: %d entries %d features, want 2, 4", len(c.Entries), c.Features())
+	}
+	if c.Entries[0].ID != 0 || c.Entries[1].ID != 1 {
+		t.Fatalf("IDs not sequential: %d %d", c.Entries[0].ID, c.Entries[1].ID)
+	}
+}
+
+// TestCorpusRejectedFeaturesStaySeen pins the seen-set semantics: a
+// rejected candidate's novel-free signature still blocks later identical
+// ones, and a rejected candidate never resurrects through Merge.
+func TestCorpusRejectedFeaturesStaySeen(t *testing.T) {
+	c := NewCorpus()
+	c.Observe(entry(1, 10))
+	c.Observe(entry(2, 10)) // rejected
+	if g := c.Gain([]uint32{10}); g != 0 {
+		t.Fatalf("feature 10 forgotten after rejection: gain %d", g)
+	}
+}
+
+func TestCorpusMerge(t *testing.T) {
+	a, b := NewCorpus(), NewCorpus()
+	a.Observe(entry(1, 10, 20))
+	b.Observe(entry(2, 20, 30))
+	b.Observe(entry(3, 40))
+	kept := a.Merge(b)
+	if kept != 2 {
+		t.Fatalf("merge kept %d entries, want 2", kept)
+	}
+	if a.Features() != 4 || len(a.Entries) != 3 {
+		t.Fatalf("merged corpus: %d features %d entries", a.Features(), len(a.Entries))
+	}
+	// A shard whose coverage is fully subsumed contributes nothing.
+	sub := NewCorpus()
+	sub.Observe(entry(4, 10, 30))
+	if kept := a.Merge(sub); kept != 0 {
+		t.Fatalf("subsumed shard kept %d entries", kept)
+	}
+}
+
+func TestCorpusMinimize(t *testing.T) {
+	c := NewCorpus()
+	c.Observe(entry(1, 10))
+	c.Observe(entry(2, 10, 20))
+	c.Observe(entry(3, 10, 20, 30))
+	m := c.Minimize()
+	// Admission-order greedy keeps all three here (each added coverage),
+	// but must drop nothing-new entries injected out of band.
+	if len(m.Entries) != 3 {
+		t.Fatalf("minimized to %d entries, want 3", len(m.Entries))
+	}
+	// A corpus where a later entry covers an earlier pair collapses.
+	c2 := NewCorpus()
+	c2.Observe(entry(1, 10))
+	c2.Observe(entry(2, 20))
+	big := entry(3, 10, 20, 30)
+	c2.Observe(big)
+	c2.Entries = []Entry{big, c2.Entries[0], c2.Entries[1]} // reorder: big first
+	m2 := c2.Minimize()
+	if len(m2.Entries) != 1 {
+		t.Fatalf("reordered corpus minimized to %d entries, want 1", len(m2.Entries))
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := NewCorpus()
+	c.Observe(entry(7, 10, 20))
+	c.Observe(entry(8, 30))
+	c.seen[99] = struct{}{} // a rejected candidate's feature
+	rep := &Report{Corpus: c, Rounds: 2, Runs: 5, Instrs: 12345,
+		Trajectory: []RoundStat{{Round: 0, Runs: 3}, {Round: 1, Runs: 5}}}
+	ck := rep.Checkpoint(42)
+	data := ck.Marshal()
+
+	ck2, c2, err := LoadCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Seed != 42 || ck2.Runs != 5 || ck2.Instrs != 12345 {
+		t.Fatalf("accounting lost: %+v", ck2)
+	}
+	if len(c2.Entries) != 2 || c2.Features() != 4 {
+		t.Fatalf("rebuilt corpus: %d entries %d features, want 2, 4", len(c2.Entries), c2.Features())
+	}
+	if g := c2.Gain([]uint32{99}); g != 0 {
+		t.Fatal("rejected-candidate feature lost across checkpoint")
+	}
+	// Marshal is byte-stable.
+	if !bytes.Equal(data, ck2.Marshal()) {
+		t.Fatal("checkpoint marshal is not byte-stable")
+	}
+}
+
+func TestLoadCheckpointRejectsCorrupt(t *testing.T) {
+	if _, _, err := LoadCheckpoint([]byte("{")); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+	if _, _, err := LoadCheckpoint([]byte(`{"version":99}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	bad := NewCorpus()
+	e := entry(1, 10)
+	e.Profile.TargetInstrs = 0
+	bad.Entries = append(bad.Entries, e)
+	ck := (&Report{Corpus: bad}).Checkpoint(1)
+	if _, _, err := LoadCheckpoint(ck.Marshal()); err == nil {
+		t.Fatal("checkpoint with invalid profile accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Package fuzz is a coverage-guided workload-fuzzing engine over the
+// co-simulation stack: it treats the workload.Profile parameter vector and
+// the generator seed as the mutation space, and the checker's semantic
+// coverage counters (checker.Coverage — per-kind event populations, NDE
+// interleaving pairs, trap/MMIO adjacency, bug-trigger proximity) plus the
+// Squash break rate as the feedback signal.
+//
+// A campaign runs in synchronous generations: each round, a batch of
+// candidate (profile, seed) pairs is derived from the campaign RNG — by
+// mutating corpus entries under a power schedule biased toward recent
+// coverage growth, or from the base profile while the corpus is cold — and
+// evaluated in parallel through cosim.RunConcurrentAll (locally, or against a
+// difftestd shard or fleet router when Config.RemoteAddr is set). Results
+// fold back into the corpus in batch-index order, so a campaign is
+// bit-deterministic in Config.Seed regardless of worker count.
+//
+// This is the paper's verification throughput turned around: once
+// hardware-accelerated checking makes runs cheap, the bottleneck becomes
+// choosing which workloads to run, and the checker's own order-semantics
+// signals are the natural objective function.
+package fuzz
+
+import (
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/checker"
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one campaign.
+type Config struct {
+	DUT      dut.Config
+	Platform platform.Platform
+	Opt      cosim.Options
+
+	// Base is the mutation origin: round 0 of a cold corpus explores seeds
+	// and single mutations of it. It must pass workload.Validate.
+	Base workload.Profile
+
+	// Seed drives the campaign RNG — the only randomness source, so equal
+	// seeds replay equal campaigns.
+	Seed int64
+
+	// TargetInstrs overrides the per-run dynamic instruction budget
+	// (0 keeps Base.TargetInstrs).
+	TargetInstrs uint64
+
+	// BatchSize is the number of candidates per generation (0 = 8).
+	BatchSize int
+	// MaxCycles bounds each evaluation; a candidate that exceeds it counts
+	// as hung (budget spent, no coverage) rather than failing the campaign.
+	// 0 derives a tight default from the instruction budget — fuzz runs are
+	// short, and a runaway workload must not stall the whole batch.
+	MaxCycles uint64
+	// Workers bounds parallel evaluations (0 = GOMAXPROCS). The corpus
+	// fold is batch-ordered, so Workers never changes the outcome.
+	Workers int
+
+	// Budgets: a campaign stops at whichever is exhausted first. Zero
+	// disables that budget. WallBudget is checked at round boundaries and
+	// makes campaigns timing-dependent — leave it 0 when replaying.
+	MaxRuns    int
+	MaxInstrs  uint64
+	WallBudget time.Duration
+
+	// StopOnMismatch ends the campaign at the first diverging run.
+	StopOnMismatch bool
+
+	// Random switches off coverage guidance: candidates are independent
+	// random perturbations of Base, never corpus mutations — the control
+	// arm for measuring what feedback buys.
+	Random bool
+
+	// RemoteAddr fans candidate evaluations out to a difftestd shard or a
+	// fleet router instead of checking in-process; the coverage signal
+	// comes back in each session's closing verdict. Tenant names the
+	// accounting principal for routed campaigns.
+	RemoteAddr string
+	Tenant     string
+
+	// Hooks, when set, is called once per run to build fresh DUT
+	// instrumentation (bug triggers are stateful counters, so hooks must
+	// never be shared across runs).
+	Hooks func() arch.Hooks
+
+	// Log, when set, receives one line per round.
+	Log func(format string, args ...any)
+}
+
+// Finding is one diverging run: everything needed to replay it to the same
+// verdict.
+type Finding struct {
+	Round    int               `json:"round"`
+	Seed     int64             `json:"seed"`
+	Profile  workload.Profile  `json:"profile"`
+	Mismatch *checker.Mismatch `json:"mismatch"`
+}
+
+// RoundStat is one generation's row in the coverage trajectory.
+type RoundStat struct {
+	Round       int    `json:"round"`
+	Runs        int    `json:"runs"`   // cumulative
+	Instrs      uint64 `json:"instrs"` // cumulative
+	NewFeatures int    `json:"new_features"`
+	Features    int    `json:"features"` // cumulative distinct features
+	Corpus      int    `json:"corpus"`   // entries retained
+	Findings    int    `json:"findings"` // cumulative mismatches
+	Hung        int    `json:"hung"`     // cumulative cycle-limit runs
+}
+
+// Report is a finished campaign.
+type Report struct {
+	Corpus     *Corpus
+	Trajectory []RoundStat
+	Findings   []Finding
+	Rounds     int
+	Runs       int
+	Instrs     uint64
+	Hung       int    // evaluations that hit the cycle limit
+	Stopped    string // which budget ended the campaign
+}

@@ -1,0 +1,169 @@
+package fuzz
+
+import (
+	"math/rand"
+
+	"repro/internal/workload"
+)
+
+// Mutation operators. Every operator takes a parent profile and returns a
+// workload.Validate-passing child — the mutation space is exactly the
+// validated parameter space, so a campaign can never assemble a degenerate
+// program.
+const (
+	opJitterWeight = "jitter-weight" // ±small step on one instruction-class weight
+	opWalkRate     = "walk-rate"     // ±per-mille step on one NDE rate
+	opTimerDouble  = "timer-double"  // double the timer interval (or arm it)
+	opTimerHalve   = "timer-halve"   // halve the timer interval (or disarm it)
+	opReseed       = "reseed"        // fresh generator seed, same profile
+	opSplice       = "splice"        // crossover with another corpus entry
+)
+
+// mutOps is the operator draw order; the index drawn from the campaign RNG
+// picks one, so the list order is part of the deterministic replay surface.
+var mutOps = []string{opJitterWeight, opWalkRate, opTimerDouble, opTimerHalve, opReseed, opSplice}
+
+// fuzzName marks mutated profiles. It is deliberately not a built-in
+// workload name: cosim's remote handshake ships the full profile whenever
+// the name can't be rebuilt server-side, which is exactly what mutated
+// vectors need.
+const fuzzName = "fuzz"
+
+// mutate derives a child (profile, seed) from parent, drawing all
+// randomness from rng. other supplies the splice partner (nil degrades
+// splice to reseed). The child always validates.
+func mutate(rng *rand.Rand, parent workload.Profile, parentSeed int64, other *Entry) (workload.Profile, int64, string) {
+	op := mutOps[rng.Intn(len(mutOps))]
+	p := parent
+	p.Name = fuzzName
+	seed := parentSeed
+	switch op {
+	case opJitterWeight:
+		ws := p.WeightSlots()
+		i := rng.Intn(len(ws))
+		delta := 1 + rng.Intn(5)
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		*ws[i] += delta
+		if *ws[i] < 0 {
+			*ws[i] = 0
+		}
+		ensureWeights(&p)
+	case opWalkRate:
+		rs := p.RateSlots()
+		i := rng.Intn(len(rs))
+		delta := 1 + rng.Intn(10)
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		*rs[i] += delta
+		clampRates(&p)
+	case opTimerDouble:
+		switch {
+		case p.TimerInterval == 0:
+			p.TimerInterval = 500
+		case p.TimerInterval*2 > workload.MaxTimerInterval:
+			p.TimerInterval = workload.MaxTimerInterval
+		default:
+			p.TimerInterval *= 2
+		}
+	case opTimerHalve:
+		p.TimerInterval /= 2 // 0 disarms the timer, which is valid
+	case opReseed:
+		seed = rng.Int63()
+	case opSplice:
+		if other == nil {
+			seed = rng.Int63()
+			op = opReseed
+			break
+		}
+		// One-point crossover over the weight vector, rates and timer from
+		// the partner, seed from either side.
+		ows := other.Profile.WeightSlots()
+		cut := 1 + rng.Intn(len(ows)-1)
+		for i, w := range p.WeightSlots() {
+			if i >= cut {
+				*w = *ows[i]
+			}
+		}
+		or := other.Profile.RateSlots()
+		for i, r := range p.RateSlots() {
+			*r = *or[i]
+		}
+		p.TimerInterval = other.Profile.TimerInterval
+		if rng.Intn(2) == 0 {
+			seed = other.Seed
+		}
+		ensureWeights(&p)
+		clampRates(&p)
+	}
+	if err := p.Validate(); err != nil {
+		// The clamps above make every operator closed over valid profiles;
+		// reaching here is a programmer error in a new operator.
+		panic(err)
+	}
+	return p, seed, op
+}
+
+// ensureWeights keeps the weight vector drawable (not all zero).
+func ensureWeights(p *workload.Profile) {
+	for _, w := range p.WeightSlots() {
+		if *w > 0 {
+			return
+		}
+	}
+	*p.WeightSlots()[0] = 1
+}
+
+// clampRates forces each rate into [0, MaxPerMille] and scales the vector
+// down when the sum overflows the per-mille budget.
+func clampRates(p *workload.Profile) {
+	sum := 0
+	for _, r := range p.RateSlots() {
+		if *r < 0 {
+			*r = 0
+		}
+		if *r > workload.MaxPerMille {
+			*r = workload.MaxPerMille
+		}
+		sum += *r
+	}
+	if sum <= workload.MaxPerMille {
+		return
+	}
+	for _, r := range p.RateSlots() {
+		*r = *r * workload.MaxPerMille / sum
+	}
+}
+
+// pick selects a mutation parent under the power schedule: energy grows
+// with admission gain and decays with age, so mutation pressure follows
+// wherever coverage most recently grew.
+func pick(rng *rand.Rand, c *Corpus, round int) *Entry {
+	if len(c.Entries) == 0 {
+		return nil
+	}
+	total := 0
+	for i := range c.Entries {
+		total += energy(&c.Entries[i], round)
+	}
+	r := rng.Intn(total)
+	for i := range c.Entries {
+		r -= energy(&c.Entries[i], round)
+		if r < 0 {
+			return &c.Entries[i]
+		}
+	}
+	return &c.Entries[len(c.Entries)-1]
+}
+
+// energy is an entry's share of the mutation budget: 1 baseline, +gain for
+// how much coverage it added, ×4 boost while it is at most two rounds old.
+func energy(e *Entry, round int) int {
+	n := 1 + e.Gain
+	if round-e.Round <= 2 {
+		n *= 4
+	}
+	return n
+}

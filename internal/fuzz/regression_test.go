@@ -1,0 +1,47 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/cosim"
+	"repro/internal/dut"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// TestExitSequenceSurvivesTimerInterrupt pins an event-ordering corner the
+// fuzzer surfaced: with a short timer interval, an interrupt used to land in
+// the one-instruction window between the epilogue's LUI and the exit store.
+// The trap handler clobbers x27 while re-arming the timer, so the store went
+// to the CLINT instead of the exit device, the program never signalled
+// completion, WFI woke on the still-pending interrupt, and execution fell off
+// the end of the code into zeroed memory — where the handler's mepc+=4
+// exception path marched forever (cycle-limit hang). The generator now
+// clears mstatus.MIE before the exit sequence; this test drives the exact
+// profiles that hung (timer-halve mutations of LinuxBoot down to interval 5)
+// and requires every one to finish.
+func TestExitSequenceSurvivesTimerInterrupt(t *testing.T) {
+	opt, err := cosim.ParseConfig("EBINSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, interval := range []uint64{1, 2, 5, 7, 13} {
+		wl := workload.LinuxBoot()
+		wl.Name = fuzzName
+		wl.TargetInstrs = 3000
+		wl.TimerInterval = interval
+		res, err := cosim.Run(cosim.Params{
+			DUT: dut.XiangShanDefault(), Platform: platform.Palladium(), Opt: opt,
+			Workload: wl, Seed: 11, MaxCycles: 5_000_000,
+		})
+		if err != nil {
+			t.Fatalf("interval %d: %v", interval, err)
+		}
+		if !res.Finished {
+			t.Fatalf("interval %d: run did not reach the exit store", interval)
+		}
+		if res.Mismatch != nil {
+			t.Fatalf("interval %d: unexpected mismatch: %v", interval, res.Mismatch)
+		}
+	}
+}

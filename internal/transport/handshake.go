@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/checker"
 	"repro/internal/event"
+	"repro/internal/workload"
 )
 
 // Hello is the client's session request: everything the server needs to
@@ -29,6 +30,13 @@ type Hello struct {
 	Workload     string `json:"workload"`
 	TargetInstrs uint64 `json:"target_instrs"`
 	Seed         int64  `json:"seed"`
+
+	// Profile, when set, carries a full workload profile instead of a
+	// built-in name — how a fuzzing campaign runs mutated parameter vectors
+	// on a remote shard. Both ends still derive the identical program from
+	// (profile, cores, seed); Workload/TargetInstrs above are ignored when
+	// Profile is present.
+	Profile *workload.Profile `json:"profile,omitempty"`
 
 	// Tenant names the accounting principal this session bills to. A fleet
 	// router enforces per-tenant admission quotas and scales the granted
@@ -136,6 +144,12 @@ type Verdict struct {
 	Finished bool            `json:"finished"`
 	TrapCode uint64          `json:"trap_code,omitempty"`
 	Events   uint64          `json:"events,omitempty"` // items checked server-side
+
+	// Coverage is the checker's semantic coverage signal, attached to the
+	// closing Done verdict when the session checker implements
+	// CoverageReporter — the feedback channel for remotely-evaluated fuzzing
+	// campaigns.
+	Coverage *checker.Coverage `json:"coverage,omitempty"`
 }
 
 // StatsInfo is the FrameStats reply: an endpoint's health and occupancy

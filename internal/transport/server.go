@@ -38,6 +38,16 @@ type SessionChecker interface {
 	Events() uint64
 }
 
+// CoverageReporter is an optional SessionChecker extension: a session that
+// can snapshot its checker's semantic coverage counters. The server attaches
+// the snapshot to the closing Done verdict so fuzzing campaigns get the same
+// feedback signal from remote shards as from in-process runs. Kept separate
+// from SessionChecker so transports and fakes that don't track coverage need
+// no stub.
+type CoverageReporter interface {
+	CoverageSnapshot() *checker.Coverage
+}
+
 // NewSessionFunc builds the software side for one accepted handshake. An
 // error rejects the session with a FrameError.
 type NewSessionFunc func(Hello) (SessionChecker, error)
@@ -574,6 +584,9 @@ func (s *Server) runSession(conn FrameTransport, sn *session) {
 					v.TrapCode = fin.TrapCode
 				}
 				v.Events = sn.sess.Events()
+			}
+			if cr, ok := sn.sess.(CoverageReporter); ok {
+				v.Coverage = cr.CoverageSnapshot()
 			}
 			sn.final = &v
 			s.served.Add(1)

@@ -46,8 +46,14 @@ type Program struct {
 }
 
 // Generate assembles a workload for the given number of cores. Generation is
-// fully deterministic in (profile, cores, seed).
+// fully deterministic in (profile, cores, seed). The profile must satisfy
+// Validate — an invalid one is a programmer error and panics; callers taking
+// untrusted profiles (cosim.Run, the fuzzer's mutators, session handshakes)
+// validate first and surface the error.
 func Generate(p Profile, cores int, seed int64) *Program {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
 	if cores < 1 {
 		cores = 1
 	}
@@ -161,10 +167,20 @@ func (g *gen) buildCore(prog *Program, core int) {
 	g.emit(isa.Inst{Op: isa.OpJAL, Rd: 0, Imm: back})
 
 	// --- epilogue: good trap ---
+	//
+	// The exit sequence must be interrupt-atomic: the trap handler clobbers
+	// x26/x27, so a timer interrupt landing between the LUI and the SD would
+	// redirect the exit store to the CLINT and the program would never signal
+	// completion (found by the workload fuzzer: short timer intervals make
+	// the one-instruction window near-certain; long ones make it a rare
+	// timing-dependent hang). Clear mstatus.MIE first so no interrupt can
+	// split the pair.
+	g.emit(isa.Inst{Op: isa.OpCSRRCI, Rd: 0, Rs1: 8, CSR: isa.CSRMstatus})
 	exitLui, exitOff := addrParts(mem.ExitBase)
 	g.emit(isa.Inst{Op: isa.OpLUI, Rd: regTmpB, Imm: exitLui})
 	g.emit(isa.Inst{Op: isa.OpSD, Rs1: regTmpB, Rs2: 0, Imm: exitOff})
-	g.emit(isa.Inst{Op: isa.OpWFI}) // not reached
+	g.emit(isa.Inst{Op: isa.OpWFI})                // not reached
+	g.emit(isa.Inst{Op: isa.OpJAL, Rd: 0, Imm: 0}) // backstop: never fall off the code
 
 	if len(g.code)*4 >= handlerOffset {
 		panic("workload: body overflows into trap handler")

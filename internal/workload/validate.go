@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxTimerInterval bounds Profile.TimerInterval. The generator materializes
+// an interval as a chain of ≤2000-unit ADDI steps (emitTimerRearm), so an
+// unbounded interval would assemble interval/2000 instructions — a mutated
+// profile could silently inflate the program by millions of instructions.
+// 1M units keeps the rearm sequence under ~500 instructions.
+const MaxTimerInterval = 1_000_000
+
+// MaxPerMille is the upper bound for each per-mille rate and for their sum:
+// emitSlot draws one number in [0,1000) and compares it against the
+// cumulative rates, so a sum beyond 1000 would starve the weighted
+// instruction mix entirely.
+const MaxPerMille = 1000
+
+// ErrInvalidProfile tags every Validate failure, so callers can distinguish
+// a degenerate profile from other run-setup errors with errors.Is.
+var ErrInvalidProfile = errors.New("workload: invalid profile")
+
+// WeightNames labels the instruction-class weight fields in the canonical
+// order WeightSlots returns them.
+func WeightNames() []string {
+	return []string{"alu", "branch", "load", "store", "muldiv", "csr",
+		"fp", "vec", "atomic", "hyp"}
+}
+
+// WeightSlots returns pointers to the instruction-class weight fields in
+// canonical order — the mutation hook the fuzzer's weight-jitter and splice
+// operators use, and the single place Validate walks, so a new weight field
+// added here is automatically validated and mutated.
+func (p *Profile) WeightSlots() []*int {
+	return []*int{&p.WALU, &p.WBranch, &p.WLoad, &p.WStore, &p.WMulDiv,
+		&p.WCSR, &p.WFP, &p.WVec, &p.WAtomic, &p.WHyp}
+}
+
+// RateNames labels the per-mille NDE rate fields in the canonical order
+// RateSlots returns them.
+func RateNames() []string { return []string{"mmio", "ecall", "guestfault"} }
+
+// RateSlots returns pointers to the per-mille rate fields in canonical
+// order — the mutation hook for the fuzzer's rate-walk operator.
+func (p *Profile) RateSlots() []*int {
+	return []*int{&p.MMIOPerMille, &p.EcallPerMille, &p.GuestFaultPM}
+}
+
+// Validate rejects profiles that would generate degenerate programs:
+// negative weights, an all-zero weight vector (no instruction mix to draw
+// from), per-mille rates outside [0, MaxPerMille] or summing beyond it
+// (starving the weighted mix), a zero TargetInstrs (no loop trip count), or
+// a TimerInterval whose rearm sequence would dwarf the body (see
+// MaxTimerInterval). The generator and the fuzzer's mutators both gate on
+// it; cosim.Run surfaces the error before any machinery is built.
+func (p *Profile) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidProfile, fmt.Sprintf(format, args...))
+	}
+	total := 0
+	for i, w := range p.WeightSlots() {
+		if *w < 0 {
+			return fail("weight %s = %d is negative", WeightNames()[i], *w)
+		}
+		total += *w
+	}
+	if total == 0 {
+		return fail("all instruction-class weights are zero")
+	}
+	rateSum := 0
+	for i, r := range p.RateSlots() {
+		if *r < 0 || *r > MaxPerMille {
+			return fail("rate %s = %d outside [0, %d] per mille",
+				RateNames()[i], *r, MaxPerMille)
+		}
+		rateSum += *r
+	}
+	if rateSum > MaxPerMille {
+		return fail("rates sum to %d per mille (> %d)", rateSum, MaxPerMille)
+	}
+	if p.TargetInstrs == 0 {
+		return fail("TargetInstrs is zero")
+	}
+	if p.TimerInterval > MaxTimerInterval {
+		return fail("TimerInterval %d exceeds %d", p.TimerInterval, MaxTimerInterval)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestBuiltinProfilesValid pins that every shipped profile passes the
+// validator — a floor change that invalidates a built-in must fail here.
+func TestBuiltinProfilesValid(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("built-in profile %q invalid: %v", p.Name, err)
+		}
+	}
+}
+
+// TestValidateRejections drives every rejection class with a table of
+// degenerate profiles the fuzzer's mutators could otherwise produce.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mut    func(*Profile)
+		detail string // substring the error must carry
+	}{
+		{"negative weight", func(p *Profile) { p.WBranch = -1 }, "negative"},
+		{"negative vec weight", func(p *Profile) { p.WVec = -7 }, "negative"},
+		{"all-zero weights", func(p *Profile) {
+			for _, w := range p.WeightSlots() {
+				*w = 0
+			}
+		}, "all instruction-class weights are zero"},
+		{"negative rate", func(p *Profile) { p.EcallPerMille = -1 }, "per mille"},
+		{"rate above 1000", func(p *Profile) { p.MMIOPerMille = 1001 }, "per mille"},
+		{"rates sum above 1000", func(p *Profile) {
+			p.MMIOPerMille, p.EcallPerMille, p.GuestFaultPM = 400, 400, 400
+		}, "sum to 1200"},
+		{"zero target instrs", func(p *Profile) { p.TargetInstrs = 0 }, "TargetInstrs"},
+		{"oversized timer interval", func(p *Profile) {
+			p.TimerInterval = MaxTimerInterval + 1
+		}, "TimerInterval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := LinuxBoot()
+			tc.mut(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a profile with %s", tc.name)
+			}
+			if !errors.Is(err, ErrInvalidProfile) {
+				t.Errorf("error %v is not ErrInvalidProfile", err)
+			}
+			if !strings.Contains(err.Error(), tc.detail) {
+				t.Errorf("error %q does not mention %q", err, tc.detail)
+			}
+		})
+	}
+}
+
+// TestGeneratePanicsOnInvalid pins the generator's programmer-error
+// contract: feeding it an unvalidated degenerate profile must not silently
+// assemble a degenerate program.
+func TestGeneratePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate accepted a zero-TargetInstrs profile")
+		}
+	}()
+	p := Microbench()
+	p.TargetInstrs = 0
+	Generate(p, 1, 1)
+}
+
+// TestMutationSlots pins the accessor contract the fuzzer depends on:
+// slot order matches the names, and writing through a slot mutates the
+// receiver field.
+func TestMutationSlots(t *testing.T) {
+	p := Microbench()
+	ws := p.WeightSlots()
+	if len(ws) != len(WeightNames()) {
+		t.Fatalf("WeightSlots has %d entries, WeightNames %d", len(ws), len(WeightNames()))
+	}
+	*ws[0] = 99
+	if p.WALU != 99 {
+		t.Errorf("WeightSlots[0] does not alias WALU (got %d)", p.WALU)
+	}
+	rs := p.RateSlots()
+	if len(rs) != len(RateNames()) {
+		t.Fatalf("RateSlots has %d entries, RateNames %d", len(rs), len(RateNames()))
+	}
+	*rs[1] = 42
+	if p.EcallPerMille != 42 {
+		t.Errorf("RateSlots[1] does not alias EcallPerMille (got %d)", p.EcallPerMille)
+	}
+}

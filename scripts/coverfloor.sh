@@ -21,6 +21,7 @@ repro/internal/faultnet 85
 repro/internal/benchjson 85
 repro/internal/lint 85
 repro/internal/fleet 85
+repro/internal/fuzz 85
 '
 
 tmp="$(mktemp -d)"
